@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fig. 2 — CDN (Nginx-like video service) on the conventional
+ * processor: achieved throughput saturates at the 10 Gbps NIC while
+ * CPU utilisation stays low, and branch / L1 miss ratios degrade as
+ * the client count approaches the limit.
+ */
+#include "bench_util.hpp"
+
+#include "workloads/cdn.hpp"
+
+using namespace smarco;
+using namespace smarco::bench;
+
+namespace {
+
+/**
+ * Run the CDN serving model for a window: chunk-service tasks arrive
+ * at the NIC-capped rate and persistent worker threads serve them.
+ */
+workloads::CdnPoint
+servePoint(const workloads::CdnWorkload &cdn, std::uint64_t clients,
+           Cycle window)
+{
+    Simulator sim;
+    baseline::BaselineParams params;
+    baseline::BaselineChip chip(sim, params);
+    chip.spawnWorkers(48, {}, /*persistent=*/true);
+
+    // Chunk arrivals: NIC-paced, converted to core cycles.
+    const double chunks_per_cycle =
+        cdn.chunkRate(clients) / (params.freqGHz * 1e9);
+    const auto profile =
+        std::make_shared<workloads::BenchProfile>(
+            cdn.chunkProfile(clients));
+    const Cycle spacing = chunks_per_cycle > 0.0
+        ? static_cast<Cycle>(1.0 / chunks_per_cycle)
+        : window;
+    std::uint64_t arrivals = 0;
+    for (Cycle t = 30000; t + 30000 < window; t += spacing) {
+        ++arrivals;
+        sim.events().schedule(t, [&chip, profile, t]() {
+            workloads::TaskSpec task;
+            task.id = t;
+            task.profile = profile.get();
+            task.numOps = profile->opsPerTask;
+            task.seed = t * 2654435761ull;
+            chip.injectTask(task);
+        });
+    }
+    sim.run(window);
+
+    const auto m = chip.metrics();
+    workloads::CdnPoint p;
+    p.clients = clients;
+    p.offeredGbps =
+        static_cast<double>(clients) * cdn.params().videoMbps / 1000.0;
+    const double served = static_cast<double>(chip.tasksCompleted());
+    p.achievedGbps = served *
+        static_cast<double>(cdn.params().chunkBytes) * 8.0 /
+        (static_cast<double>(window) / (params.freqGHz * 1e9)) / 1e9;
+    p.cpuUtilisation = m.cpuUtilisation;
+    p.branchMissRatio = m.branchMissRatio;
+    p.l1MissRatio = m.l1MissRatio;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 2", "conventional processor under the CDN workload "
+                     "(25 Mbps streams, 10 Gbps NIC)");
+
+    workloads::CdnWorkload cdn;
+    std::printf("NIC saturates at %llu clients\n\n",
+                static_cast<unsigned long long>(
+                    cdn.saturationClients()));
+    std::printf("%8s %10s %10s %9s %12s %9s\n", "clients",
+                "offered", "achieved", "CPU util", "branch miss",
+                "L1 miss");
+    std::printf("%8s %10s %10s %9s %12s %9s\n", "", "(Gbps)",
+                "(Gbps)", "", "", "");
+
+    for (std::uint64_t clients : {50ull, 100ull, 200ull, 300ull,
+                                  400ull, 500ull, 600ull}) {
+        const auto p = servePoint(cdn, clients, 10'000'000);
+        std::printf("%8llu %10.2f %10.2f %9.3f %12.3f %9.3f\n",
+                    static_cast<unsigned long long>(p.clients),
+                    p.offeredGbps, p.achievedGbps, p.cpuUtilisation,
+                    p.branchMissRatio, p.l1MissRatio);
+    }
+
+    note("");
+    note("paper shape: achieved bandwidth caps at the NIC limit, CPU");
+    note("utilisation stays under ~10%, branch misses exceed 10% near");
+    note("the limit, and the L1 miss ratio is ~40% (Section 1).");
+    return 0;
+}

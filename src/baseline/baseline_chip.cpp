@@ -1,0 +1,459 @@
+#include "baseline/baseline_chip.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace smarco::baseline {
+
+using isa::MicroOp;
+using isa::OpKind;
+
+namespace {
+
+Addr
+kernelCodeBase(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return 0x7000'0000 + ((h & 0xffff) << 16);
+}
+
+constexpr Addr kDramBase = 0x1'0000'0000ULL;
+
+} // namespace
+
+BaselineChip::BaselineChip(Simulator &sim, BaselineParams params)
+    : sim_(sim),
+      params_(std::move(params)),
+      committed_(sim.stats(), "base.committed", "micro-ops committed"),
+      cycles_(sim.stats(), "base.cycles", "active cycles"),
+      slotsOffered_(sim.stats(), "base.slotsOffered",
+                    "issue slots offered"),
+      slotsUsed_(sim.stats(), "base.slotsUsed", "issue slots used"),
+      starveCycles_(sim.stats(), "base.starveCycles",
+                    "thread-cycles lost to instruction starvation"),
+      branches_(sim.stats(), "base.branches", "branches executed"),
+      branchMisses_(sim.stats(), "base.branchMisses",
+                    "branches mispredicted"),
+      tasksDone_(sim.stats(), "base.tasksDone", "tasks completed"),
+      switches_(sim.stats(), "base.switches", "OS context switches"),
+      l1Latency_(sim.stats(), "base.l1Latency",
+                 "mean latency of L1-served accesses"),
+      l2Latency_(sim.stats(), "base.l2Latency",
+                 "mean latency of L2-served accesses"),
+      llcLatency_(sim.stats(), "base.llcLatency",
+                  "mean latency of LLC-served accesses")
+{
+    if (params_.numCores == 0 || params_.smtPerCore == 0)
+        fatal("baseline: empty chip");
+
+    llc_ = std::make_unique<mem::Cache>(sim.stats(), params_.llc,
+                                        "base.llc");
+    dram_ = std::make_unique<mem::DramController>(sim, params_.dram,
+                                                  "base.dram");
+    cores_.resize(params_.numCores);
+    for (std::uint32_t c = 0; c < params_.numCores; ++c) {
+        Core &core = cores_[c];
+        core.l1i = std::make_unique<mem::Cache>(
+            sim.stats(), params_.l1i, strprintf("base.core%02u.l1i", c));
+        core.l1d = std::make_unique<mem::Cache>(
+            sim.stats(), params_.l1d, strprintf("base.core%02u.l1d", c));
+        core.l2 = std::make_unique<mem::Cache>(
+            sim.stats(), params_.l2, strprintf("base.core%02u.l2", c));
+        mem::CacheParams tlb;
+        tlb.name = "dtlb";
+        tlb.lineBytes = params_.pageBytes;
+        tlb.assoc = 8;
+        tlb.sizeBytes = static_cast<std::uint64_t>(params_.tlbEntries) *
+                        params_.pageBytes;
+        core.dtlb = std::make_unique<mem::Cache>(
+            sim.stats(), tlb, strprintf("base.core%02u.dtlb", c));
+        core.slots.resize(params_.smtPerCore);
+    }
+    sim.addTicking(this);
+}
+
+workloads::AddressLayout
+BaselineChip::layoutFor(const SwThread &t) const
+{
+    // On the conventional chip everything is cacheable DRAM; the
+    // SmarCo memory classes map onto per-thread regions: the SPM
+    // region becomes the thread's hot stack/TLS data, the remote SPM
+    // becomes a neighbour's shared buffer.
+    const std::uint64_t nthreads =
+        std::max<std::uint64_t>(threads_.size(), 1);
+    workloads::AddressLayout layout;
+    layout.spmLocalBase = kDramBase + t.id * 0x100000ULL;
+    layout.spmLocalSize = params_.hotRegionBytes;
+    layout.spmRemoteBase =
+        kDramBase + ((t.id + 1) % nthreads) * 0x100000ULL;
+    layout.spmRemoteSize = params_.hotRegionBytes;
+    layout.heapBase = kDramBase + 0x2000'0000ULL + t.id * 0x400000ULL;
+    // Without an SPM to stage hot data into, the conventional chip
+    // keeps the full server-side state cacheable: its heap working
+    // set is far larger than the SmarCo-staged slice.
+    layout.heapSize = 32 * (t.task.profile
+                                ? t.task.profile->heapWorkingSet
+                                : 256 * 1024);
+    layout.streamBase =
+        kDramBase + 0x2'0000'0000ULL + t.id * 0x400'0000ULL;
+    layout.streamSize = t.task.profile
+        ? t.task.profile->streamWorkingSet
+        : 4 * 1024 * 1024;
+    return layout;
+}
+
+void
+BaselineChip::spawnWorkers(std::uint32_t num_threads,
+                           std::vector<workloads::TaskSpec> tasks,
+                           bool persistent)
+{
+    if (num_threads == 0)
+        fatal("baseline: zero worker threads");
+    persistent_ = persistent;
+    for (auto &t : tasks)
+        bag_.push_back(t);
+
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(threads_.size());
+    threads_.resize(base + num_threads);
+    const std::uint32_t hw_slots =
+        params_.numCores * params_.smtPerCore;
+    for (std::uint32_t k = 0; k < num_threads; ++k) {
+        SwThread &t = threads_[base + k];
+        t.id = base + k;
+        t.state = SwThread::State::Starting;
+        // pthread_create is serialised through the spawning thread.
+        t.readyAt = sim_.now() +
+            static_cast<Cycle>(k + 1) * params_.threadCreateCost;
+        t.rng = Rng(0xba5e + t.id, t.id);
+        const std::uint32_t slot = t.id % hw_slots;
+        cores_[slot / params_.smtPerCore]
+            .slots[slot % params_.smtPerCore].push_back(t.id);
+        ++liveThreads_;
+        ++startingCount_;
+    }
+}
+
+void
+BaselineChip::injectTask(const workloads::TaskSpec &task)
+{
+    bag_.push_back(task);
+}
+
+void
+BaselineChip::nextTask(SwThread &t, Cycle now)
+{
+    if (t.hasTask) {
+        t.hasTask = false;
+        --activeTasks_;
+    }
+    if (bag_.empty()) {
+        // Worker parks on the empty queue and polls again shortly
+        // (condition-variable wait in a real server loop).
+        t.hasTask = false;
+        t.stream.reset();
+        t.state = SwThread::State::Runnable;
+        t.readyAt = now + 500;
+        return;
+    }
+    t.task = bag_.front();
+    bag_.pop_front();
+    t.hasTask = true;
+    ++activeTasks_;
+    t.hasPending = false;
+    t.fetchOff = 0;
+    const std::string &kernel =
+        t.task.profile ? t.task.profile->name : std::string("task");
+    t.pcBase = kernelCodeBase(kernel);
+    t.stream = std::make_unique<workloads::ProfileStream>(
+        *t.task.profile, layoutFor(t), t.task.numOps, t.task.seed);
+    t.state = SwThread::State::Runnable;
+    t.readyAt = now + params_.taskPopCost;
+}
+
+bool
+BaselineChip::fetchOk(Core &core, SwThread &t, Cycle now)
+{
+    // A server binary's resident code path is larger than the
+    // extracted kernel (runtime/library/OS-stack code), and each
+    // software thread takes data-dependent paths through a different
+    // window of it, so the union of live code grows with the thread
+    // count -- the source of Fig. 1b's rising starvation.
+    const std::uint64_t kernel_fp = std::max<std::uint64_t>(
+        3 * (t.task.profile ? t.task.profile->instrFootprint
+                            : std::uint64_t{8 * 1024}),
+        256);
+    const std::uint64_t binary = 16 * kernel_fp;
+    const Addr window =
+        (static_cast<Addr>(t.id) * (kernel_fp / 2)) %
+        (binary - kernel_fp);
+    const Addr pc = t.pcBase + window + (t.fetchOff % kernel_fp);
+    t.fetchOff += 16;
+    if (core.l1i->access(pc, false).hit)
+        return true;
+    ++starveCycles_;
+    if (core.l2->access(pc, false).hit) {
+        t.readyAt = std::max(t.readyAt, now + params_.l2HitLatency);
+        return false;
+    }
+    if (llc_->access(pc, false).hit) {
+        t.readyAt = std::max(t.readyAt, now + params_.llcHitLatency);
+        return false;
+    }
+    t.readyAt = std::max(t.readyAt, now + params_.memLatency);
+    return false;
+}
+
+void
+BaselineChip::memAccess(Core &core, SwThread &t, Addr addr,
+                        bool is_store, Cycle now)
+{
+    // Address translation: a DTLB miss serialises a page walk in
+    // front of the access (walks mostly hit the caches, ~22 cycles).
+    if (!core.dtlb->access(addr & ~static_cast<Addr>(
+                               params_.pageBytes - 1), false).hit)
+        t.readyAt = std::max(t.readyAt,
+                             now + params_.tlbWalkLatency);
+    if (core.l1d->access(addr, is_store).hit) {
+        l1Latency_.sample(
+            static_cast<double>(params_.l1d.hitLatency));
+        return;
+    }
+    if (core.l2->access(addr, is_store).hit) {
+        l2Latency_.sample(static_cast<double>(params_.l2HitLatency));
+        if (!is_store && t.rng.chance(params_.dependStall * 0.5))
+            t.readyAt = std::max(t.readyAt,
+                                 now + params_.l2HitLatency);
+        return;
+    }
+    const auto llc_res = llc_->access(addr, is_store);
+    if (llc_res.writeback)
+        dram_->serve(llc_res.victimAddr, 64, now, nullptr,
+                     /*is_write=*/true);
+    if (llc_res.hit) {
+        // Shared LLC: queueing grows mildly with in-flight misses.
+        const double lat = static_cast<double>(params_.llcHitLatency) +
+            static_cast<double>(pendingMisses_) / 16.0;
+        llcLatency_.sample(lat);
+        if (!is_store && t.rng.chance(params_.dependStall))
+            t.readyAt = std::max(
+                t.readyAt, now + static_cast<Cycle>(lat));
+        return;
+    }
+
+    // DRAM fill.
+    ++t.outstanding;
+    ++pendingMisses_;
+    const std::uint32_t tid = t.id;
+    dram_->serve(addr, 64, now, [this, tid]() {
+        SwThread &th = threads_[tid];
+        --th.outstanding;
+        --pendingMisses_;
+        if (th.state == SwThread::State::Stalled) {
+            th.state = SwThread::State::Runnable;
+            th.readyAt = std::max(th.readyAt, sim_.now());
+            th.mshrBlocked = false;
+        }
+    });
+
+    if (!is_store && t.rng.chance(params_.dependStall)) {
+        t.state = SwThread::State::Stalled;
+        return;
+    }
+    if (t.outstanding >= params_.mshrPerThread) {
+        t.state = SwThread::State::Stalled;
+        t.mshrBlocked = true;
+    }
+}
+
+bool
+BaselineChip::executeOp(Core &core, SwThread &t, const MicroOp &op,
+                        Cycle now)
+{
+    const auto consume = [&t, this]() {
+        t.hasPending = false;
+        ++committed_;
+        ++slotsUsed_;
+    };
+
+    switch (op.kind) {
+      case OpKind::Halt:
+        t.hasPending = false;
+        ++tasksDone_;
+        nextTask(t, now);
+        return false;
+      case OpKind::Alu:
+      case OpKind::Mul:
+      case OpKind::Fp:
+        // OoO execution hides fixed ALU/FP latencies.
+        consume();
+        return true;
+      case OpKind::Branch:
+        consume();
+        ++branches_;
+        if (op.mispredict) {
+            ++branchMisses_;
+            t.readyAt = now + params_.branchPenalty;
+            return false;
+        }
+        return true;
+      case OpKind::Load:
+      case OpKind::Store:
+        consume();
+        memAccess(core, t, op.addr, op.isStore(), now);
+        return t.state == SwThread::State::Runnable;
+    }
+    panic("baseline: bad op kind");
+}
+
+void
+BaselineChip::tick(Cycle now)
+{
+    if (liveThreads_ == 0)
+        return;
+    ++cycles_;
+
+    for (auto &core : cores_) {
+        // OS time slicing when software threads oversubscribe a slot.
+        if (now >= core.nextRotate) {
+            core.nextRotate = now + params_.schedQuantum;
+            for (auto &slot : core.slots) {
+                if (slot.size() > 1) {
+                    slot.push_back(slot.front());
+                    slot.pop_front();
+                    SwThread &in = threads_[slot.front()];
+                    in.readyAt = std::max(
+                        in.readyAt, now + params_.contextSwitchCost);
+                    ++switches_;
+                }
+            }
+        }
+
+        slotsOffered_ += static_cast<double>(params_.issueWidth);
+        std::uint32_t budget = params_.issueWidth;
+        for (auto &slot : core.slots) {
+            if (budget == 0 || slot.empty())
+                continue;
+            SwThread &t = threads_[slot.front()];
+            if (t.state == SwThread::State::Starting) {
+                if (now >= t.readyAt) {
+                    --startingCount_;
+                    nextTask(t, now);
+                }
+                continue;
+            }
+            if (t.state != SwThread::State::Runnable ||
+                t.readyAt > now)
+                continue;
+            if (!t.hasTask) {
+                nextTask(t, now); // poll the queue again
+                if (!t.hasTask)
+                    continue;
+            }
+            const double ilp =
+                (t.task.profile ? t.task.profile->ilp : 2.0) *
+                params_.ilpBoost;
+            const auto base_cap = static_cast<std::uint32_t>(ilp);
+            const std::uint32_t cap = base_cap +
+                (t.rng.chance(ilp - base_cap) ? 1u : 0u);
+            if (!fetchOk(core, t, now))
+                continue;
+            std::uint32_t issued = 0;
+            while (budget > 0 && issued < cap &&
+                   t.state == SwThread::State::Runnable &&
+                   t.readyAt <= now) {
+                if (!t.hasPending) {
+                    if (!t.stream ||
+                        !t.stream->next(t.pending)) {
+                        ++tasksDone_;
+                        nextTask(t, now);
+                        break;
+                    }
+                    t.hasPending = true;
+                }
+                const MicroOp op = t.pending;
+                const double before = committed_.value();
+                const bool more = executeOp(core, t, op, now);
+                if (committed_.value() > before) {
+                    ++issued;
+                    --budget;
+                }
+                if (!more)
+                    break;
+            }
+        }
+    }
+
+    // Run completion (non-persistent pools): once the bag is dry and
+    // every worker has parked, retire the pool so the simulator can
+    // go idle.
+    if (!persistent_ && bag_.empty() && pendingMisses_ == 0 &&
+        activeTasks_ == 0 && startingCount_ == 0 &&
+        liveThreads_ > 0) {
+        for (auto &t : threads_) {
+            if (t.state != SwThread::State::Finished) {
+                t.state = SwThread::State::Finished;
+                --liveThreads_;
+            }
+        }
+    }
+}
+
+bool
+BaselineChip::busy() const
+{
+    if (liveThreads_ == 0)
+        return false;
+    if (!persistent_)
+        return true;
+    return !bag_.empty() || pendingMisses_ > 0 || activeTasks_ > 0 ||
+           startingCount_ > 0;
+}
+
+BaselineMetrics
+BaselineChip::metrics() const
+{
+    BaselineMetrics m;
+    m.cycles = static_cast<Cycle>(cycles_.value());
+    m.tasksCompleted =
+        static_cast<std::uint64_t>(tasksDone_.value());
+    m.opsCommitted = static_cast<std::uint64_t>(committed_.value());
+    if (m.cycles > 0) {
+        m.aggregateIpc = committed_.value() / cycles_.value();
+        m.tasksPerMCycle = 1e6 * tasksDone_.value() / cycles_.value();
+    }
+    const double offered = slotsOffered_.value();
+    if (offered > 0.0) {
+        m.idleSlotRatio = 1.0 - slotsUsed_.value() / offered;
+        m.cpuUtilisation = slotsUsed_.value() / offered;
+        m.starvationRatio = starveCycles_.value() /
+            (offered / params_.issueWidth);
+    }
+    if (branches_.value() > 0.0)
+        m.branchMissRatio = branchMisses_.value() / branches_.value();
+
+    double l1h = 0, l1m = 0, l2h = 0, l2m = 0;
+    for (const auto &core : cores_) {
+        l1h += static_cast<double>(core.l1d->hits());
+        l1m += static_cast<double>(core.l1d->misses());
+        l2h += static_cast<double>(core.l2->hits());
+        l2m += static_cast<double>(core.l2->misses());
+    }
+    if (l1h + l1m > 0.0)
+        m.l1MissRatio = l1m / (l1h + l1m);
+    if (l2h + l2m > 0.0)
+        m.l2MissRatio = l2m / (l2h + l2m);
+    m.llcMissRatio = llc_->missRatio();
+    m.l1AvgLatency = l1Latency_.value();
+    m.l2AvgLatency = l2Latency_.value();
+    m.llcAvgLatency = llcLatency_.value();
+    return m;
+}
+
+} // namespace smarco::baseline

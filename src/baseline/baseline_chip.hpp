@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Conventional-CMP baseline standing in for the Intel Xeon E7-8890V4
+ * the paper compares against (Table 2, Figs. 1, 22, 23).
+ *
+ * 24 out-of-order cores with 2-way SMT, a three-level cache hierarchy
+ * (32 KB L1I/L1D, 256 KB L2 per core, 60 MB shared LLC) and 85 GB/s
+ * of memory bandwidth. Out-of-order latency tolerance is approximated
+ * by miss-level parallelism (loads only stall the thread when the
+ * MSHR window fills or a dependence is drawn), and the OS threading
+ * model charges thread-creation, task-queue and context-switch costs
+ * so software-threading overhead appears at high thread counts
+ * exactly where Fig. 23 shows it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/instr_stream.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "workloads/profile_stream.hpp"
+#include "workloads/task.hpp"
+
+namespace smarco::baseline {
+
+/** Configuration of the conventional chip. */
+struct BaselineParams {
+    std::string name = "xeon-e7-8890v4";
+    std::uint32_t numCores = 24;
+    std::uint32_t smtPerCore = 2;
+    double freqGHz = 2.2;
+    std::uint32_t issueWidth = 4;
+    /** OoO cores extract more ILP than the profile's in-order value. */
+    double ilpBoost = 1.5;
+    /** Outstanding L1 misses a hardware thread tolerates (MLP). */
+    std::uint32_t mshrPerThread = 6;
+    /** Probability a miss is promptly consumed (ROB stalls on it). */
+    double dependStall = 0.30;
+    Cycle branchPenalty = 16;          ///< deep OoO pipeline flush
+    Cycle l2HitLatency = 12;
+    Cycle llcHitLatency = 38;
+    Cycle memLatency = 180;            ///< ~82 ns at 2.2 GHz
+    /** Second-level DTLB entries (4 KB pages). HTC's scattered
+     *  record probes over multi-GB datasets miss here constantly;
+     *  the SmarCo accelerator uses segment-based unified addressing
+     *  and pays no equivalent cost (DESIGN.md). */
+    std::uint32_t tlbEntries = 256;
+    std::uint32_t pageBytes = 4096;
+    Cycle tlbWalkLatency = 22;
+
+    mem::CacheParams l1i{"l1i", 32 * 1024, 8, 64, 2};
+    mem::CacheParams l1d{"l1d", 32 * 1024, 8, 64, 4};
+    mem::CacheParams l2{"l2", 256 * 1024, 8, 64, 12};
+    mem::CacheParams llc{"llc", 60 * 1024 * 1024, 20, 64, 38};
+
+    /** 85 GB/s at 2.2 GHz core clock = 38.6 B/cycle across 4 channels. */
+    mem::DramParams dram{4, 9.66, 180, 2, 16, 64};
+
+    // --- OS / software threading model -----------------------------------
+    Cycle threadCreateCost = 30000;
+    Cycle contextSwitchCost = 5000;
+    Cycle schedQuantum = 100000;
+    /** Cost of popping the shared task queue (lock + dispatch). */
+    Cycle taskPopCost = 600;
+    /** Per-thread "hot data" region (stack/TLS) in bytes. */
+    std::uint64_t hotRegionBytes = 24 * 1024;
+};
+
+/** Aggregated results of one baseline run. */
+struct BaselineMetrics {
+    Cycle cycles = 0;
+    std::uint64_t tasksCompleted = 0;
+    std::uint64_t opsCommitted = 0;
+    double aggregateIpc = 0.0;
+    double tasksPerMCycle = 0.0;
+    double idleSlotRatio = 0.0;
+    double starvationRatio = 0.0;
+    double branchMissRatio = 0.0;
+    double l1MissRatio = 0.0;
+    double l2MissRatio = 0.0;
+    double llcMissRatio = 0.0;
+    double l1AvgLatency = 0.0;
+    double l2AvgLatency = 0.0;
+    double llcAvgLatency = 0.0;
+    double cpuUtilisation = 0.0; ///< busy issue slots / all slots
+};
+
+/**
+ * The conventional chip. Usage: construct, submit tasks with a
+ * software-thread count, run the simulator, read metrics().
+ */
+class BaselineChip : public Ticking
+{
+  public:
+    BaselineChip(Simulator &sim, BaselineParams params);
+
+    /**
+     * Create num_threads software worker threads that drain the given
+     * task bag. Threads are created serially by a main thread (cost
+     * threadCreateCost each), then repeatedly pop tasks until the bag
+     * empties.
+     */
+    void spawnWorkers(std::uint32_t num_threads,
+                      std::vector<workloads::TaskSpec> tasks,
+                      bool persistent = false);
+
+    /** Append tasks to the shared bag while workers run (CDN). */
+    void injectTask(const workloads::TaskSpec &task);
+
+    void tick(Cycle now) override;
+    bool busy() const override;
+
+    BaselineMetrics metrics() const;
+    const BaselineParams &params() const { return params_; }
+    std::uint64_t tasksCompleted() const
+    { return static_cast<std::uint64_t>(tasksDone_.value()); }
+
+  private:
+    /** One software thread. */
+    struct SwThread {
+        enum class State : std::uint8_t {
+            Starting, Runnable, Stalled, Finished
+        };
+        State state = State::Starting;
+        std::unique_ptr<workloads::ProfileStream> stream;
+        workloads::TaskSpec task;
+        bool hasTask = false;
+        Cycle readyAt = 0;
+        std::uint32_t outstanding = 0; ///< in-flight L1 miss count
+        bool mshrBlocked = false;
+        Addr pcBase = 0;
+        std::uint64_t fetchOff = 0;
+        isa::MicroOp pending{};
+        bool hasPending = false;
+        Rng rng{0, 0};
+        std::uint32_t id = 0;
+    };
+
+    /** One physical core: its private caches, DTLB and SMT slots. */
+    struct Core {
+        std::unique_ptr<mem::Cache> l1i;
+        std::unique_ptr<mem::Cache> l1d;
+        std::unique_ptr<mem::Cache> l2;
+        std::unique_ptr<mem::Cache> dtlb;
+        /** Software threads affined to each SMT slot, front = live. */
+        std::vector<std::deque<std::uint32_t>> slots;
+        Cycle nextRotate = 0;
+    };
+
+    workloads::AddressLayout layoutFor(const SwThread &t) const;
+    void nextTask(SwThread &t, Cycle now);
+    bool fetchOk(Core &core, SwThread &t, Cycle now);
+    /** @return true when the thread may keep issuing this cycle. */
+    bool executeOp(Core &core, SwThread &t, const isa::MicroOp &op,
+                   Cycle now);
+    void memAccess(Core &core, SwThread &t, Addr addr, bool is_store,
+                   Cycle now);
+
+    Simulator &sim_;
+    BaselineParams params_;
+    std::vector<Core> cores_;
+    std::vector<SwThread> threads_;
+    std::unique_ptr<mem::Cache> llc_;
+    std::unique_ptr<mem::DramController> dram_;
+    std::deque<workloads::TaskSpec> bag_;
+    std::uint64_t liveThreads_ = 0;
+    std::uint64_t pendingMisses_ = 0;
+    std::uint64_t activeTasks_ = 0;   ///< threads mid-task
+    std::uint64_t startingCount_ = 0; ///< threads not yet created
+    bool persistent_ = false;         ///< CDN-style worker pool
+
+    Scalar committed_;
+    Scalar cycles_;
+    Scalar slotsOffered_;
+    Scalar slotsUsed_;
+    Scalar starveCycles_;
+    Scalar branches_;
+    Scalar branchMisses_;
+    Scalar tasksDone_;
+    Scalar switches_;
+    Average l1Latency_;
+    Average l2Latency_;
+    Average llcLatency_;
+};
+
+} // namespace smarco::baseline

@@ -1,0 +1,624 @@
+#include "chip/smarco_chip.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace smarco::chip {
+
+using isa::MemClass;
+using isa::MicroOp;
+using mem::MemRequest;
+using noc::NodeId;
+using noc::NodeKind;
+using noc::Packet;
+using noc::PacketKind;
+
+SmarcoChip::SmarcoChip(Simulator &sim, ChipConfig cfg)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      memRequests_(sim.stats(), "chip.memRequests",
+                   "off-core memory requests issued"),
+      memLatency_(sim.stats(), "chip.memLatency",
+                  "mean blocking memory request latency (cycles)"),
+      priorityDirect_(sim.stats(), "chip.priorityDirect",
+                      "requests served over the direct datapath")
+{
+    cfg_.validate();
+
+    network_ = std::make_unique<noc::Network>(sim_, cfg_.noc, "chip.noc");
+    directPath_ = std::make_unique<noc::DirectPath>(
+        sim_, cfg_.directPath, "chip.direct");
+    dram_ = std::make_unique<mem::DramController>(
+        sim_, cfg_.dram, "chip.dram");
+
+    const std::uint32_t n = cfg_.numCores();
+    cores_.reserve(n);
+    dmas_.reserve(n);
+    for (CoreId c = 0; c < n; ++c) {
+        cores_.push_back(std::make_unique<core::TcgCore>(
+            sim_, cfg_.core, c, cfg_.map.spmBaseOf(c), *this,
+            strprintf("chip.core%03u", c)));
+        dmas_.push_back(std::make_unique<mem::DmaEngine>(
+            sim_.stats(), cfg_.core.spm.dmaChunkBytes,
+            strprintf("chip.dma%03u", c)));
+        dmas_.back()->setTransport(
+            [this, c](Addr src, Addr dst, std::uint32_t bytes,
+                      std::function<void()> done) {
+                dmaChunk(c, src, dst, bytes, std::move(done));
+            });
+    }
+
+    for (std::uint32_t g = 0; g < cfg_.noc.numSubRings; ++g) {
+        macts_.push_back(std::make_unique<mem::Mact>(
+            sim_, cfg_.mact, strprintf("chip.mact%02u", g)));
+        macts_.back()->setSink([this, g](mem::MactBatch &&batch) {
+            onMactBatch(g, std::move(batch));
+        });
+        network_->setGatewayInterceptor(g, [this, g](Packet &pkt) {
+            return interceptAtGateway(g, pkt);
+        });
+        network_->setEndpointHandler(
+            NodeId{NodeKind::Gateway, g}, [this, g](Packet &&pkt) {
+                handleGatewayPacket(g, std::move(pkt));
+            });
+    }
+
+    for (std::uint32_t m = 0; m < cfg_.noc.numMemCtrls; ++m) {
+        network_->setEndpointHandler(
+            NodeId{NodeKind::MemCtrl, m}, [this, m](Packet &&pkt) {
+                handleMcPacket(m, std::move(pkt));
+            });
+    }
+
+    for (std::uint32_t g = 0; g < cfg_.noc.numSubRings; ++g) {
+        subScheds_.push_back(std::make_unique<sched::SubScheduler>(
+            sim_, cfg_.subSched, g, strprintf("chip.sched%02u", g)));
+        auto &sub = *subScheds_.back();
+        for (std::uint32_t k = 0; k < cfg_.noc.coresPerSubRing; ++k)
+            sub.addCore(cores_[g * cfg_.noc.coresPerSubRing + k].get());
+        sub.setStreamFactory(
+            [this](const workloads::TaskSpec &task, CoreId core_id) {
+                if (!task.profile)
+                    panic("task %llu has no profile",
+                          static_cast<unsigned long long>(task.id));
+                return std::make_unique<workloads::ProfileStream>(
+                    *task.profile, layoutFor(task, core_id),
+                    task.numOps, task.seed);
+            });
+        sub.setStageFn([this](CoreId core_id,
+                              const workloads::TaskSpec &task,
+                              std::function<void()> ready) {
+            stageTask(core_id, task, std::move(ready));
+        });
+    }
+
+    for (auto &sub : subScheds_) {
+        sub->setExitCallback(
+            [this](const sched::TaskExit &exit,
+                   const workloads::TaskSpec &task) {
+                if (task.hookId == 0)
+                    return;
+                auto it = taskHooks_.find(task.hookId);
+                if (it == taskHooks_.end())
+                    return;
+                TaskHook hook = std::move(it->second);
+                taskHooks_.erase(it);
+                hook(task, exit.finish, exit.core);
+            });
+    }
+
+    mainSched_ = std::make_unique<sched::MainScheduler>(
+        sim_, cfg_.mainSched, "chip.mainSched");
+    for (auto &s : subScheds_)
+        mainSched_->addSubScheduler(s.get());
+    // Task hand-off travels the main ring as a control packet from
+    // the host-facing I/O stop to the target gateway.
+    mainSched_->setTransport(
+        [this](std::uint32_t sub_ring, const workloads::TaskSpec &t) {
+            const std::uint64_t wire = nextTaskWire_++;
+            taskWire_.emplace(wire, t);
+            Packet pkt;
+            pkt.src = NodeId{NodeKind::Io, 0};
+            pkt.dst = NodeId{NodeKind::Gateway, sub_ring};
+            pkt.kind = PacketKind::Control;
+            pkt.payloadBytes = 32;
+            pkt.meta = wire;
+            network_->send(std::move(pkt));
+        });
+}
+
+SmarcoChip::~SmarcoChip() = default;
+
+void
+SmarcoChip::submit(const std::vector<workloads::TaskSpec> &tasks)
+{
+    mainSched_->submitAll(tasks);
+}
+
+void
+SmarcoChip::submitTo(std::uint32_t sub_ring,
+                     const workloads::TaskSpec &task)
+{
+    subScheds_[sub_ring]->submit(task);
+}
+
+void
+SmarcoChip::submitWithHook(const workloads::TaskSpec &task,
+                           TaskHook hook)
+{
+    workloads::TaskSpec t = task;
+    t.hookId = nextHookId_++;
+    taskHooks_.emplace(t.hookId, std::move(hook));
+    mainSched_->submit(t);
+}
+
+Cycle
+SmarcoChip::runUntilDone(Cycle max_cycles)
+{
+    const Cycle end = sim_.run(max_cycles);
+    if (!sim_.finishedIdle())
+        warn("chip %s: run hit the %llu-cycle limit before draining",
+             cfg_.name.c_str(),
+             static_cast<unsigned long long>(max_cycles));
+    return end;
+}
+
+ChipMetrics
+SmarcoChip::metrics() const
+{
+    ChipMetrics m;
+    m.cycles = sim_.now();
+    for (const auto &c : cores_)
+        m.opsCommitted += c->committedOps();
+    for (const auto &s : subScheds_) {
+        m.tasksCompleted += s->tasksCompleted();
+        m.deadlineMisses += s->deadlineMisses();
+    }
+    if (m.cycles > 0) {
+        m.aggregateIpc = static_cast<double>(m.opsCommitted) /
+                         static_cast<double>(m.cycles);
+        m.tasksPerMCycle = 1e6 * static_cast<double>(m.tasksCompleted) /
+                           static_cast<double>(m.cycles);
+    }
+    m.avgMemLatency = memLatency_.value();
+    m.nocUtilisation = network_->utilisation(m.cycles);
+    m.dramRequests = dram_->requestsServed();
+    return m;
+}
+
+workloads::AddressLayout
+SmarcoChip::layoutFor(const workloads::TaskSpec &task,
+                      CoreId core_id) const
+{
+    const auto &map = cfg_.map;
+    const std::uint32_t cps = cfg_.noc.coresPerSubRing;
+    const std::uint32_t ring = core_id / cps;
+    const std::uint32_t local = core_id % cps;
+    const CoreId neighbour = ring * cps + (local + 1) % cps;
+
+    workloads::AddressLayout layout;
+    layout.spmLocalBase = map.spmBaseOf(core_id);
+    layout.spmLocalSize = cores_[core_id]->spm().dataBytes();
+    layout.spmRemoteBase = map.spmBaseOf(neighbour);
+    layout.spmRemoteSize = cores_[neighbour]->spm().dataBytes();
+    layout.heapBase = map.dramBase +
+        static_cast<Addr>(core_id) * cfg_.heapStride;
+    layout.heapSize = task.profile ? task.profile->heapWorkingSet
+                                   : 256 * 1024;
+    layout.streamBase = map.dramBase +
+        static_cast<Addr>(cfg_.numCores()) * cfg_.heapStride +
+        static_cast<Addr>(core_id) * cfg_.streamStride;
+    layout.streamSize = task.profile ? task.profile->streamWorkingSet
+                                     : 4 * 1024 * 1024;
+    return layout;
+}
+
+NodeId
+SmarcoChip::mcNodeFor(Addr addr) const
+{
+    return NodeId{NodeKind::MemCtrl, dram_->channelOf(addr)};
+}
+
+void
+SmarcoChip::request(CoreId core_id, ThreadId thread, const MicroOp &op,
+                    core::MemDone done)
+{
+    ++memRequests_;
+    MemRequest req;
+    req.id = nextReqId_++;
+    req.write = op.isStore();
+    req.addr = op.addr;
+    req.bytes = op.size;
+    req.priority = op.priority;
+    req.core = core_id;
+    req.thread = thread;
+    req.issued = sim_.now();
+
+    // Wrap the completion to sample the end-to-end request latency.
+    const bool blocking = !req.write;
+    core::MemDone wrapped =
+        [this, issued = req.issued, blocking, done = std::move(done)]() {
+            if (blocking)
+                memLatency_.sample(
+                    static_cast<double>(sim_.now() - issued));
+            if (done)
+                done();
+        };
+
+    if (op.memClass == MemClass::SpmRemote) {
+        const CoreId owner = cfg_.map.isSpm(op.addr)
+            ? cfg_.map.spmOwner(op.addr)
+            : core_id;
+        core::TcgCore *owner_core = cores_[owner].get();
+        Packet pkt;
+        pkt.src = NodeId{NodeKind::Core, core_id};
+        pkt.dst = NodeId{NodeKind::Core, owner};
+        pkt.priority = req.priority;
+        if (!req.write) {
+            pkt.kind = PacketKind::SpmRemoteReq;
+            pkt.payloadBytes = mem::kReadReqBytes;
+            pkt.onDeliver = [this, owner_core, req,
+                             wrapped = std::move(wrapped)]() {
+                owner_core->spm().access(false);
+                Packet resp;
+                resp.src = NodeId{NodeKind::Core, owner_core->id()};
+                resp.dst = NodeId{NodeKind::Core, req.core};
+                resp.kind = PacketKind::SpmRemoteResp;
+                resp.payloadBytes = mem::kReqHeaderBytes + req.bytes;
+                resp.priority = req.priority;
+                resp.onDeliver = wrapped;
+                network_->send(std::move(resp));
+            };
+        } else {
+            pkt.kind = PacketKind::SpmRemoteReq;
+            pkt.payloadBytes = mem::kReqHeaderBytes + req.bytes;
+            pkt.onDeliver = [owner_core,
+                             wrapped = std::move(wrapped)]() {
+                owner_core->spm().access(true);
+                wrapped();
+            };
+        }
+        network_->send(std::move(pkt));
+        return;
+    }
+
+    // Heap fills and stream accesses go to DRAM.
+    if (req.priority && !req.write && directPath_->enabled()) {
+        sendViaDirectPath(req, std::move(wrapped));
+        return;
+    }
+    if (req.write)
+        sendWriteToMemory(req, std::move(wrapped));
+    else
+        sendReadToMemory(req, std::move(wrapped));
+}
+
+void
+SmarcoChip::writeback(CoreId core_id, Addr line_addr)
+{
+    MemRequest req;
+    req.id = nextReqId_++;
+    req.write = true;
+    req.addr = line_addr;
+    req.bytes = 64;
+    req.core = core_id;
+    req.issued = sim_.now();
+    sendWriteToMemory(req, nullptr);
+}
+
+void
+SmarcoChip::sendReadToMemory(const MemRequest &req, core::MemDone done)
+{
+    pending_.emplace(req.id, PendingReq{req, std::move(done)});
+    Packet pkt;
+    pkt.src = NodeId{NodeKind::Core, req.core};
+    pkt.dst = mcNodeFor(req.addr);
+    pkt.kind = PacketKind::MemReadReq;
+    pkt.payloadBytes = mem::kReadReqBytes;
+    pkt.priority = req.priority;
+    pkt.meta = req.id;
+    network_->send(std::move(pkt));
+}
+
+void
+SmarcoChip::sendWriteToMemory(const MemRequest &req, core::MemDone done)
+{
+    pending_.emplace(req.id, PendingReq{req, std::move(done)});
+    Packet pkt;
+    pkt.src = NodeId{NodeKind::Core, req.core};
+    pkt.dst = mcNodeFor(req.addr);
+    pkt.kind = PacketKind::MemWriteReq;
+    pkt.payloadBytes = mem::kReqHeaderBytes + req.bytes;
+    pkt.priority = req.priority;
+    pkt.meta = req.id;
+    network_->send(std::move(pkt));
+}
+
+void
+SmarcoChip::sendViaDirectPath(const MemRequest &req, core::MemDone done)
+{
+    ++priorityDirect_;
+    const std::uint32_t ring = req.core / cfg_.noc.coresPerSubRing;
+    auto respond = [this, ring, req, done = std::move(done)]() {
+        dram_->serve(req.addr, req.bytes, sim_.now(),
+                     [this, ring, req, done]() {
+            directPath_->transfer(
+                ring, mem::kReqHeaderBytes + req.bytes, sim_.now(),
+                done);
+        });
+    };
+    directPath_->transfer(ring, mem::kReadReqBytes, sim_.now(),
+                          std::move(respond));
+}
+
+bool
+SmarcoChip::interceptAtGateway(std::uint32_t gw, Packet &pkt)
+{
+    if (pkt.kind != PacketKind::MemReadReq &&
+        pkt.kind != PacketKind::MemWriteReq)
+        return false;
+    auto it = pending_.find(pkt.meta);
+    if (it == pending_.end())
+        panic("gateway %u: unknown mem request %llu", gw,
+              static_cast<unsigned long long>(pkt.meta));
+    return macts_[gw]->collect(it->second.req, sim_.now());
+}
+
+void
+SmarcoChip::onMactBatch(std::uint32_t gw, mem::MactBatch &&batch)
+{
+    const std::uint64_t wire = nextReqId_++;
+    const Addr base = batch.lineBase;
+    const std::uint32_t bytes = batch.wireBytes();
+    batchWire_.emplace(wire, std::move(batch));
+    Packet pkt;
+    pkt.src = NodeId{NodeKind::Gateway, gw};
+    pkt.dst = mcNodeFor(base);
+    pkt.kind = PacketKind::MactBatchReq;
+    pkt.payloadBytes = bytes;
+    pkt.meta = wire;
+    network_->send(std::move(pkt));
+}
+
+void
+SmarcoChip::handleMcPacket(std::uint32_t mc, Packet &&pkt)
+{
+    switch (pkt.kind) {
+      case PacketKind::MemReadReq:
+      case PacketKind::DmaChunk: {
+        auto it = pending_.find(pkt.meta);
+        if (it == pending_.end())
+            panic("mc %u: unknown request %llu", mc,
+                  static_cast<unsigned long long>(pkt.meta));
+        const MemRequest req = it->second.req;
+        if (req.write) {
+            // Posted DMA write: complete at the controller.
+            core::MemDone done = std::move(it->second.done);
+            pending_.erase(it);
+            dram_->serve(req.addr, req.bytes, sim_.now(), nullptr,
+                         /*is_write=*/true);
+            if (done)
+                done();
+            return;
+        }
+        const std::uint64_t id = pkt.meta;
+        const bool is_dma = pkt.kind == PacketKind::DmaChunk;
+        // Staging chunks ride the bulk class so they cannot queue
+        // ahead of pipeline-stalling demand reads.
+        dram_->serve(req.addr, req.bytes, sim_.now(),
+                     mem::DramController::Done([this, id, mc, is_dma]() {
+            auto it2 = pending_.find(id);
+            if (it2 == pending_.end())
+                panic("mc %u: request %llu vanished", mc,
+                      static_cast<unsigned long long>(id));
+            const MemRequest req2 = it2->second.req;
+            core::MemDone done = std::move(it2->second.done);
+            pending_.erase(it2);
+            Packet resp;
+            resp.src = NodeId{NodeKind::MemCtrl, mc};
+            resp.dst = NodeId{NodeKind::Core, req2.core};
+            resp.kind = is_dma ? PacketKind::DmaChunk
+                               : PacketKind::MemReadResp;
+            resp.payloadBytes = mem::kReqHeaderBytes + req2.bytes;
+            resp.priority = req2.priority;
+            resp.onDeliver = std::move(done);
+            network_->send(std::move(resp));
+        }), is_dma ? mem::DramClass::Bulk
+                   : mem::DramClass::DemandRead);
+        return;
+      }
+
+      case PacketKind::MemWriteReq: {
+        auto it = pending_.find(pkt.meta);
+        if (it == pending_.end())
+            panic("mc %u: unknown write %llu", mc,
+                  static_cast<unsigned long long>(pkt.meta));
+        const MemRequest req = it->second.req;
+        core::MemDone done = std::move(it->second.done);
+        pending_.erase(it);
+        dram_->serve(req.addr, req.bytes, sim_.now(), nullptr,
+                     /*is_write=*/true);
+        if (done)
+            done(); // posted write
+        return;
+      }
+
+      case PacketKind::MactBatchReq: {
+        auto it = batchWire_.find(pkt.meta);
+        if (it == batchWire_.end())
+            panic("mc %u: unknown batch %llu", mc,
+                  static_cast<unsigned long long>(pkt.meta));
+        if (it->second.write) {
+            // One DRAM write covering every merged store.
+            mem::MactBatch batch = std::move(it->second);
+            batchWire_.erase(it);
+            dram_->serve(batch.lineBase, batch.coveredBytes(),
+                         sim_.now(), nullptr, /*is_write=*/true);
+            for (const auto &r : batch.requests) {
+                auto pit = pending_.find(r.id);
+                if (pit == pending_.end())
+                    panic("mc %u: batched write %llu lost", mc,
+                          static_cast<unsigned long long>(r.id));
+                core::MemDone done = std::move(pit->second.done);
+                pending_.erase(pit);
+                if (done)
+                    done();
+            }
+            return;
+        }
+        // Read batch: one DRAM access, one response to the gateway.
+        const std::uint64_t id = pkt.meta;
+        const Addr base = it->second.lineBase;
+        const std::uint32_t data = it->second.coveredBytes();
+        const std::uint32_t home_gw = it->second.requests.empty()
+            ? 0
+            : it->second.requests.front().core /
+                  cfg_.noc.coresPerSubRing;
+        dram_->serve(base, data, sim_.now(),
+                     [this, id, mc, data, home_gw]() {
+            Packet resp;
+            resp.src = NodeId{NodeKind::MemCtrl, mc};
+            resp.dst = NodeId{NodeKind::Gateway, home_gw};
+            resp.kind = PacketKind::MactBatchResp;
+            resp.payloadBytes = mem::kReqHeaderBytes + data;
+            resp.meta = id;
+            network_->send(std::move(resp));
+        });
+        return;
+      }
+
+      default:
+        panic("mc %u: unexpected packet kind %s", mc,
+              toString(pkt.kind).c_str());
+    }
+}
+
+void
+SmarcoChip::handleGatewayPacket(std::uint32_t gw, Packet &&pkt)
+{
+    switch (pkt.kind) {
+      case PacketKind::Control: {
+        auto it = taskWire_.find(pkt.meta);
+        if (it == taskWire_.end())
+            panic("gateway %u: unknown task wire %llu", gw,
+                  static_cast<unsigned long long>(pkt.meta));
+        const workloads::TaskSpec task = it->second;
+        taskWire_.erase(it);
+        subScheds_[gw]->submit(task);
+        return;
+      }
+
+      case PacketKind::MactBatchResp: {
+        auto it = batchWire_.find(pkt.meta);
+        if (it == batchWire_.end())
+            panic("gateway %u: unknown batch %llu", gw,
+                  static_cast<unsigned long long>(pkt.meta));
+        mem::MactBatch batch = std::move(it->second);
+        batchWire_.erase(it);
+        // Fan the merged line back out as per-request responses.
+        for (const auto &r : batch.requests) {
+            auto pit = pending_.find(r.id);
+            if (pit == pending_.end())
+                panic("gateway %u: batched read %llu lost", gw,
+                      static_cast<unsigned long long>(r.id));
+            core::MemDone done = std::move(pit->second.done);
+            pending_.erase(pit);
+            Packet resp;
+            resp.src = NodeId{NodeKind::Gateway, gw};
+            resp.dst = NodeId{NodeKind::Core, r.core};
+            resp.kind = PacketKind::MemReadResp;
+            resp.payloadBytes = mem::kReqHeaderBytes + r.bytes;
+            resp.onDeliver = std::move(done);
+            network_->send(std::move(resp));
+        }
+        return;
+      }
+
+      default:
+        panic("gateway %u: unexpected packet kind %s", gw,
+              toString(pkt.kind).c_str());
+    }
+}
+
+void
+SmarcoChip::stageTask(CoreId core_id, const workloads::TaskSpec &task,
+                      std::function<void()> ready)
+{
+    if (!cfg_.dmaStaging || task.inputBytes == 0) {
+        ready();
+        return;
+    }
+    const workloads::AddressLayout layout = layoutFor(task, core_id);
+    const std::uint64_t bytes =
+        std::min<std::uint64_t>(task.inputBytes,
+                                layout.spmLocalSize);
+    dmas_[core_id]->start(layout.streamBase, layout.spmLocalBase,
+                          bytes, std::move(ready));
+}
+
+void
+SmarcoChip::dmaChunk(CoreId core_id, Addr src, Addr dst,
+                     std::uint32_t bytes, std::function<void()> done)
+{
+    const bool src_dram = cfg_.map.isDram(src);
+    const bool dst_dram = cfg_.map.isDram(dst);
+
+    if (src_dram && !dst_dram) {
+        // DRAM -> SPM: a read chunk request plus a data response.
+        MemRequest req;
+        req.id = nextReqId_++;
+        req.write = false;
+        req.addr = src;
+        req.bytes = bytes;
+        req.core = core_id;
+        req.issued = sim_.now();
+        pending_.emplace(req.id, PendingReq{req, std::move(done)});
+        Packet pkt;
+        pkt.src = NodeId{NodeKind::Core, core_id};
+        pkt.dst = mcNodeFor(src);
+        pkt.kind = PacketKind::DmaChunk;
+        pkt.payloadBytes = mem::kReadReqBytes;
+        pkt.meta = req.id;
+        network_->send(std::move(pkt));
+        return;
+    }
+    if (!src_dram && dst_dram) {
+        // SPM -> DRAM: a posted write chunk carrying the payload.
+        MemRequest req;
+        req.id = nextReqId_++;
+        req.write = true;
+        req.addr = dst;
+        req.bytes = bytes;
+        req.core = core_id;
+        req.issued = sim_.now();
+        pending_.emplace(req.id, PendingReq{req, std::move(done)});
+        Packet pkt;
+        pkt.src = NodeId{NodeKind::Core, core_id};
+        pkt.dst = mcNodeFor(dst);
+        pkt.kind = PacketKind::DmaChunk;
+        pkt.payloadBytes = mem::kReqHeaderBytes + bytes;
+        pkt.meta = req.id;
+        network_->send(std::move(pkt));
+        return;
+    }
+    // SPM -> SPM transfer between sub-ring neighbours.
+    const CoreId owner = cfg_.map.isSpm(dst) ? cfg_.map.spmOwner(dst)
+                                             : core_id;
+    Packet pkt;
+    pkt.src = NodeId{NodeKind::Core, core_id};
+    pkt.dst = NodeId{NodeKind::Core, owner};
+    pkt.kind = PacketKind::DmaChunk;
+    pkt.payloadBytes = mem::kReqHeaderBytes + bytes;
+    pkt.onDeliver = std::move(done);
+    if (pkt.src == pkt.dst) {
+        // Local copy: charge a cycle per SPM word, no NoC traffic.
+        sim_.events().scheduleAfter(sim_.now(), 1 + bytes / 16,
+                                    std::move(pkt.onDeliver));
+        return;
+    }
+    network_->send(std::move(pkt));
+}
+
+} // namespace smarco::chip

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The assembled SmarCo chip: 256 TCG cores on a hierarchical ring
+ * with MACTs at the gateways, a star direct datapath, four DDR4
+ * channels, per-sub-ring hardware schedulers and a main scheduler
+ * (Fig. 4). This class owns all components, implements the cores'
+ * MemPort by routing requests through the NoC/MACT/DRAM, and exposes
+ * the measurement surface the benchmarks use.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chip/chip_config.hpp"
+#include "core/mem_port.hpp"
+#include "core/tcg_core.hpp"
+#include "mem/dram.hpp"
+#include "mem/mact.hpp"
+#include "noc/direct_path.hpp"
+#include "noc/network.hpp"
+#include "sched/main_scheduler.hpp"
+#include "sched/sub_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/profile_stream.hpp"
+#include "workloads/task.hpp"
+
+namespace smarco::chip {
+
+/** Aggregated run metrics reported by the experiment harnesses. */
+struct ChipMetrics {
+    Cycle cycles = 0;
+    std::uint64_t tasksCompleted = 0;
+    std::uint64_t opsCommitted = 0;
+    double aggregateIpc = 0.0;       ///< ops / cycle, whole chip
+    double tasksPerMCycle = 0.0;     ///< throughput
+    double avgMemLatency = 0.0;      ///< blocking request latency
+    double nocUtilisation = 0.0;
+    std::uint64_t dramRequests = 0;
+    std::uint64_t deadlineMisses = 0;
+};
+
+/**
+ * The SmarCo chip. Construct with a Simulator and a ChipConfig, then
+ * submit task sets through scheduler() and run the simulator.
+ */
+class SmarcoChip : public core::MemPort
+{
+  public:
+    SmarcoChip(Simulator &sim, ChipConfig cfg);
+    ~SmarcoChip() override;
+
+    SmarcoChip(const SmarcoChip &) = delete;
+    SmarcoChip &operator=(const SmarcoChip &) = delete;
+
+    /** Submit tasks via the main scheduler (load-balanced). */
+    void submit(const std::vector<workloads::TaskSpec> &tasks);
+    /** Completion observer attached to one submitted task. */
+    using TaskHook = std::function<void(const workloads::TaskSpec &,
+                                        Cycle finish, CoreId core)>;
+    /** Submit one task and be called back when it completes. */
+    void submitWithHook(const workloads::TaskSpec &task, TaskHook hook);
+    /** Submit one task directly to a chosen sub-ring. */
+    void submitTo(std::uint32_t sub_ring,
+                  const workloads::TaskSpec &task);
+
+    /**
+     * Run until all submitted work has drained (or max_cycles).
+     * @return the cycle the run stopped at.
+     */
+    Cycle runUntilDone(Cycle max_cycles = 50'000'000);
+
+    /** Snapshot of whole-chip metrics at the current cycle. */
+    ChipMetrics metrics() const;
+
+    // --- component access for tests and focused experiments -------------
+    Simulator &sim() { return sim_; }
+    const ChipConfig &config() const { return cfg_; }
+    core::TcgCore &core(CoreId id) { return *cores_[id]; }
+    std::uint32_t numCores() const
+    { return static_cast<std::uint32_t>(cores_.size()); }
+    sched::SubScheduler &subScheduler(std::uint32_t i)
+    { return *subScheds_[i]; }
+    sched::MainScheduler &scheduler() { return *mainSched_; }
+    mem::DramController &dram() { return *dram_; }
+    noc::Network &network() { return *network_; }
+    mem::Mact &mact(std::uint32_t sub_ring)
+    { return *macts_[sub_ring]; }
+
+    /** Address layout a task sees when placed on a core. */
+    workloads::AddressLayout layoutFor(const workloads::TaskSpec &task,
+                                       CoreId core) const;
+
+    // --- MemPort --------------------------------------------------------
+    void request(CoreId core, ThreadId thread, const isa::MicroOp &op,
+                 core::MemDone done) override;
+    void writeback(CoreId core, Addr line_addr) override;
+
+  private:
+    struct PendingReq {
+        mem::MemRequest req;
+        core::MemDone done;
+    };
+
+    noc::NodeId mcNodeFor(Addr addr) const;
+    void sendReadToMemory(const mem::MemRequest &req,
+                          core::MemDone done);
+    void sendWriteToMemory(const mem::MemRequest &req,
+                           core::MemDone done);
+    void sendViaDirectPath(const mem::MemRequest &req,
+                           core::MemDone done);
+    void handleMcPacket(std::uint32_t mc, noc::Packet &&pkt);
+    void handleGatewayPacket(std::uint32_t gw, noc::Packet &&pkt);
+    bool interceptAtGateway(std::uint32_t gw, noc::Packet &pkt);
+    void onMactBatch(std::uint32_t gw, mem::MactBatch &&batch);
+    void stageTask(CoreId core, const workloads::TaskSpec &task,
+                   std::function<void()> ready);
+    void dmaChunk(CoreId core, Addr src, Addr dst,
+                  std::uint32_t bytes, std::function<void()> done);
+
+    Simulator &sim_;
+    ChipConfig cfg_;
+    std::unique_ptr<noc::Network> network_;
+    std::unique_ptr<noc::DirectPath> directPath_;
+    std::unique_ptr<mem::DramController> dram_;
+    std::vector<std::unique_ptr<core::TcgCore>> cores_;
+    std::vector<std::unique_ptr<mem::DmaEngine>> dmas_;
+    std::vector<std::unique_ptr<mem::Mact>> macts_;
+    std::vector<std::unique_ptr<sched::SubScheduler>> subScheds_;
+    std::unique_ptr<sched::MainScheduler> mainSched_;
+
+    std::uint64_t nextReqId_ = 1;
+    /** Blocking/buffered requests travelling through the NoC. */
+    std::unordered_map<std::uint64_t, PendingReq> pending_;
+    /** MACT batches travelling between gateways and controllers. */
+    std::unordered_map<std::uint64_t, mem::MactBatch> batchWire_;
+    /** Tasks in flight between main scheduler and gateways. */
+    std::unordered_map<std::uint64_t, workloads::TaskSpec> taskWire_;
+    std::uint64_t nextTaskWire_ = 1;
+    /** Completion hooks keyed by TaskSpec::hookId. */
+    std::unordered_map<std::uint64_t, TaskHook> taskHooks_;
+    std::uint64_t nextHookId_ = 1;
+
+    Scalar memRequests_;
+    Average memLatency_;
+    Scalar priorityDirect_;
+};
+
+} // namespace smarco::chip

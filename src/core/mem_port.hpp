@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Interface a TCG core uses to reach the memory system beyond its
+ * local SPM and D-cache. Implemented by the chip, which routes
+ * requests through the NoC, MACT, direct datapath and DRAM.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/micro_op.hpp"
+#include "sim/types.hpp"
+
+namespace smarco::core {
+
+/** Completion callback for an off-core memory operation. */
+using MemDone = std::function<void()>;
+
+/**
+ * Off-core memory port. All methods are fire-and-remember: the chip
+ * invokes done when the operation completes (possibly many cycles
+ * later); done may be empty for operations nobody waits on.
+ */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /**
+     * A demand access that missed the local structures: heap D-cache
+     * line fill, remote-SPM access, or uncached stream access. The
+     * micro-op carries class, address, size and priority.
+     */
+    virtual void request(CoreId core, ThreadId thread,
+                         const isa::MicroOp &op, MemDone done) = 0;
+
+    /** Write back a dirty 64-byte victim line to memory. */
+    virtual void writeback(CoreId core, Addr line_addr) = 0;
+};
+
+} // namespace smarco::core

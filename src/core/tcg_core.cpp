@@ -1,0 +1,539 @@
+#include "core/tcg_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace smarco::core {
+
+using isa::MemClass;
+using isa::MicroOp;
+using isa::OpKind;
+
+namespace {
+
+/** Deterministic per-kernel code base address (synthetic PC space). */
+Addr
+kernelCodeBase(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return 0x4000'0000 + ((h & 0xffff) << 16);
+}
+
+} // namespace
+
+TcgCore::TcgCore(Simulator &sim, CoreParams params, CoreId id,
+                 Addr spm_base, MemPort &port,
+                 const std::string &stat_prefix)
+    : sim_(sim),
+      params_(params),
+      id_(id),
+      port_(port),
+      icache_(sim.stats(), params.icache, stat_prefix + ".icache"),
+      dcache_(sim.stats(), params.dcache, stat_prefix + ".dcache"),
+      spm_(sim.stats(), params.spm, spm_base, stat_prefix + ".spm"),
+      contexts_(params.numThreads),
+      rng_(0x5eed0 + id, id),
+      committed_(sim.stats(), stat_prefix + ".committed",
+                 "micro-ops committed"),
+      cyclesActive_(sim.stats(), stat_prefix + ".cyclesActive",
+                    "cycles with at least one live context"),
+      slotsOffered_(sim.stats(), stat_prefix + ".slotsOffered",
+                    "issue slots offered while active"),
+      slotsUsed_(sim.stats(), stat_prefix + ".slotsUsed",
+                 "issue slots that committed an op"),
+      starveCycles_(sim.stats(), stat_prefix + ".starveCycles",
+                    "thread-cycles lost to instruction starvation"),
+      pairSwitches_(sim.stats(), stat_prefix + ".pairSwitches",
+                    "friend-thread switches"),
+      stallsMem_(sim.stats(), stat_prefix + ".stallsMem",
+                 "blocking memory stalls"),
+      tasksFinished_(sim.stats(), stat_prefix + ".tasksFinished",
+                     "tasks completed on this core")
+{
+    if (params_.maxRunning == 0 || params_.issueWidth == 0)
+        fatal("core %u: zero-width pipeline", id);
+    if (params_.numThreads < params_.maxRunning ||
+        params_.numThreads > 2 * params_.maxRunning)
+        fatal("core %u: numThreads %u must be in [maxRunning, "
+              "2*maxRunning]", id, params_.numThreads);
+    if (params_.maxRunning > 16)
+        fatal("core %u: at most 16 run slots supported", id);
+    for (std::uint32_t i = 0; i < contexts_.size(); ++i)
+        contexts_[i].rng = Rng(0xc0de + id * 131 + i, i);
+    sim.addTicking(this);
+}
+
+std::uint32_t
+TcgCore::friendOf(std::uint32_t ctx) const
+{
+    const std::uint32_t m = params_.maxRunning;
+    const std::uint32_t f = ctx < m ? ctx + m : ctx - m;
+    return f < params_.numThreads ? f : ctx; // unpaired slot
+}
+
+bool
+TcgCore::attachTask(const workloads::TaskSpec &task,
+                    isa::StreamPtr stream, TaskDone done)
+{
+    for (std::uint32_t i = 0; i < contexts_.size(); ++i) {
+        Context &ctx = contexts_[i];
+        if (ctx.state != State::Idle)
+            continue;
+        ctx.task = task;
+        ctx.stream = std::move(stream);
+        ctx.done = std::move(done);
+        ctx.opsDone = 0;
+        ctx.readyAt = sim_.now();
+        ctx.taskStart = sim_.now();
+        ctx.fetchOff = 0;
+        ctx.hasPending = false;
+        const std::string &kernel =
+            task.profile ? task.profile->name : std::string("task");
+        ctx.pcBase = kernelCodeBase(kernel);
+        if (!params_.sharedInstrSegment) {
+            // Without segment sharing every context fetches its own
+            // copy of the kernel, multiplying the I-footprint.
+            ctx.pcBase += static_cast<Addr>(i) << 20;
+        }
+        // Promote directly when the context's run slot is free.
+        const std::uint32_t f = friendOf(i);
+        if (f == i || contexts_[f].state != State::Running)
+            ctx.state = State::Running;
+        else
+            ctx.state = State::Ready;
+        return true;
+    }
+    return false;
+}
+
+std::uint32_t
+TcgCore::freeContexts() const
+{
+    std::uint32_t n = 0;
+    for (const auto &ctx : contexts_)
+        n += ctx.state == State::Idle;
+    return n;
+}
+
+std::uint32_t
+TcgCore::liveContexts() const
+{
+    return params_.numThreads - freeContexts();
+}
+
+bool
+TcgCore::busy() const
+{
+    return liveContexts() > 0 || pendingResponses_ > 0 ||
+           storeBufferUsed_ > 0;
+}
+
+TcgCore::Context *
+TcgCore::activeOf(std::uint32_t slot)
+{
+    Context &a = contexts_[slot];
+    const std::uint32_t fi = friendOf(slot);
+    if (fi == slot)
+        return a.state == State::Running ? &a : nullptr;
+    if (params_.scheme == ThreadScheme::NoSwitch) {
+        // The slot is owned by one context until it finishes; the
+        // friend context provides no latency hiding.
+        Context &prim = a.state != State::Idle ? a : contexts_[fi];
+        if (prim.state == State::Running)
+            return &prim;
+        if (prim.state == State::Ready) {
+            prim.state = State::Running;
+            return &prim;
+        }
+        return nullptr;
+    }
+
+    Context &b = contexts_[fi];
+    if (a.state == State::Running)
+        return &a;
+    if (b.state == State::Running)
+        return &b;
+    // Neither running: promote a Ready context (slot was vacated).
+    if (a.state == State::Ready) {
+        a.state = State::Running;
+        return &a;
+    }
+    if (b.state == State::Ready) {
+        b.state = State::Running;
+        return &b;
+    }
+    return nullptr;
+}
+
+void
+TcgCore::stallThread(std::uint32_t ctx_idx, Cycle now)
+{
+    Context &ctx = contexts_[ctx_idx];
+    ctx.state = State::Stalled;
+    ++stallsMem_;
+
+    if (params_.scheme == ThreadScheme::NoSwitch)
+        return;
+    const std::uint32_t fi = friendOf(ctx_idx);
+    if (fi == ctx_idx)
+        return;
+    Context &fr = contexts_[fi];
+    if (fr.state == State::Ready) {
+        fr.state = State::Running;
+        const Cycle penalty = params_.scheme == ThreadScheme::InPair
+            ? params_.pairSwitchPenalty
+            : params_.coarseSwitchPenalty;
+        fr.readyAt = std::max(fr.readyAt, now + penalty);
+        ++pairSwitches_;
+    }
+}
+
+void
+TcgCore::wakeThread(std::uint32_t ctx_idx, Cycle now)
+{
+    Context &ctx = contexts_[ctx_idx];
+    if (ctx.state != State::Stalled)
+        panic("core %u: waking context %u in state %d", id_, ctx_idx,
+              static_cast<int>(ctx.state));
+    const std::uint32_t fi = friendOf(ctx_idx);
+    if (params_.scheme != ThreadScheme::NoSwitch && fi != ctx_idx &&
+        contexts_[fi].state == State::Running) {
+        // Laxity-aware arbitration may preempt the friend when the
+        // woken task is more urgent (lagging behind its deadline).
+        if (params_.issuePolicy == IssuePolicy::LaxityAware &&
+            laxityOf(ctx, now) < laxityOf(contexts_[fi], now)) {
+            contexts_[fi].state = State::Ready;
+            ctx.state = State::Running;
+            ctx.readyAt = std::max(ctx.readyAt,
+                                   now + params_.pairSwitchPenalty);
+            ++pairSwitches_;
+            return;
+        }
+        // Friend holds the slot: wait until it stalls (Section 3.1.1).
+        ctx.state = State::Ready;
+        return;
+    }
+    ctx.state = State::Running;
+    ctx.readyAt = std::max(ctx.readyAt, now);
+}
+
+void
+TcgCore::finishTask(std::uint32_t ctx_idx, Cycle now)
+{
+    Context &ctx = contexts_[ctx_idx];
+    ++tasksFinished_;
+    const workloads::TaskSpec task = ctx.task;
+    TaskDone done = std::move(ctx.done);
+    ctx.state = State::Idle;
+    ctx.stream.reset();
+    ctx.hasPending = false;
+    ctx.done = nullptr;
+
+    // Hand the slot to a Ready friend.
+    const std::uint32_t fi = friendOf(ctx_idx);
+    if (fi != ctx_idx && contexts_[fi].state == State::Ready)
+        contexts_[fi].state = State::Running;
+
+    if (done)
+        done(task, now);
+}
+
+std::uint32_t
+TcgCore::ilpCap(Context &ctx) const
+{
+    const double ilp = ctx.task.profile ? ctx.task.profile->ilp : 2.0;
+    const auto base = static_cast<std::uint32_t>(ilp);
+    const double frac = ilp - static_cast<double>(base);
+    return base + (ctx.rng.chance(frac) ? 1u : 0u);
+}
+
+bool
+TcgCore::fetchOk(Context &ctx, Cycle now)
+{
+    if (ctx.fetchedThisCycle)
+        return true;
+    ctx.fetchedThisCycle = true;
+    const std::uint64_t footprint = ctx.task.profile
+        ? std::max<std::uint64_t>(ctx.task.profile->instrFootprint, 256)
+        : params_.instrFootprint;
+    const Addr pc = ctx.pcBase + (ctx.fetchOff % footprint);
+    ctx.fetchOff += 16; // one fetch group of four 32-bit instructions
+    if (icache_.access(pc, false).hit)
+        return true;
+    // Refill from the prefetched SPM instruction segment.
+    ctx.readyAt = std::max(ctx.readyAt, now + params_.icacheMissPenalty);
+    ++starveCycles_;
+    return false;
+}
+
+double
+TcgCore::laxityOf(const Context &ctx, Cycle now) const
+{
+    if (!ctx.task.hasDeadline())
+        return std::numeric_limits<double>::infinity();
+    const double remaining_ops = ctx.task.numOps > ctx.opsDone
+        ? static_cast<double>(ctx.task.numOps - ctx.opsDone)
+        : 0.0;
+    const double time_left = ctx.task.deadline > now
+        ? static_cast<double>(ctx.task.deadline - now)
+        : 0.0;
+    return time_left - remaining_ops; // assumes ~1 op/cycle/thread
+}
+
+bool
+TcgCore::executeOp(std::uint32_t ctx_idx, Context &ctx,
+                   const MicroOp &op, Cycle now)
+{
+    const auto consume = [&ctx, this]() {
+        ctx.hasPending = false;
+        ++ctx.opsDone;
+        ++committed_;
+        ++slotsUsed_;
+    };
+
+    switch (op.kind) {
+      case OpKind::Halt:
+        ctx.hasPending = false;
+        finishTask(ctx_idx, now);
+        return false;
+
+      case OpKind::Alu:
+        consume();
+        return true;
+
+      case OpKind::Mul:
+      case OpKind::Fp:
+        consume();
+        if (op.execLatency > 1) {
+            ctx.readyAt = now + op.execLatency - 1;
+            return false;
+        }
+        return true;
+
+      case OpKind::Branch:
+        consume();
+        if (op.mispredict) {
+            ctx.readyAt = now + params_.branchPenalty;
+            return false;
+        }
+        return true;
+
+      case OpKind::Load:
+      case OpKind::Store:
+        break;
+    }
+
+    // Memory operation.
+    const bool is_store = op.isStore();
+    switch (op.memClass) {
+      case MemClass::SpmLocal:
+        spm_.access(is_store);
+        consume();
+        return true;
+
+      case MemClass::Heap: {
+        const auto res = dcache_.access(op.addr, is_store);
+        if (res.writeback)
+            port_.writeback(id_, res.victimAddr);
+        if (res.hit) {
+            consume();
+            return true;
+        }
+        // Line fill from DRAM.
+        MicroOp fill = op;
+        fill.size = static_cast<std::uint8_t>(64);
+        fill.addr = op.addr & ~Addr{63};
+        if (!is_store) {
+            consume();
+            ++pendingResponses_;
+            stallThread(ctx_idx, now);
+            port_.request(id_, ctx_idx, fill, [this, ctx_idx]() {
+                --pendingResponses_;
+                wakeThread(ctx_idx, sim_.now());
+            });
+            return false;
+        }
+        // Store miss: write-allocate through the store buffer.
+        if (storeBufferUsed_ >= params_.storeBufferSlots)
+            return false; // retry next cycle (op stays pending)
+        ++storeBufferUsed_;
+        consume();
+        port_.request(id_, ctx_idx, fill,
+                      [this]() { --storeBufferUsed_; });
+        return true;
+      }
+
+      case MemClass::Stream: {
+        // Trace-driven tasks (no profile) treat every stream load as
+        // a demand miss; profiled tasks follow the profile.
+        const double blocking = ctx.task.profile
+            ? ctx.task.profile->streamLoadBlocking
+            : 1.0;
+        if (!is_store) {
+            if (!ctx.rng.chance(blocking)) {
+                // Staged into the SPM by the runtime's DMA prefetch.
+                spm_.access(false);
+                consume();
+                return true;
+            }
+            consume();
+            ++pendingResponses_;
+            stallThread(ctx_idx, now);
+            port_.request(id_, ctx_idx, op, [this, ctx_idx]() {
+                --pendingResponses_;
+                wakeThread(ctx_idx, sim_.now());
+            });
+            return false;
+        }
+        if (storeBufferUsed_ >= params_.storeBufferSlots)
+            return false;
+        ++storeBufferUsed_;
+        consume();
+        port_.request(id_, ctx_idx, op,
+                      [this]() { --storeBufferUsed_; });
+        return true;
+      }
+
+      case MemClass::SpmRemote: {
+        if (!is_store) {
+            consume();
+            ++pendingResponses_;
+            stallThread(ctx_idx, now);
+            port_.request(id_, ctx_idx, op, [this, ctx_idx]() {
+                --pendingResponses_;
+                wakeThread(ctx_idx, sim_.now());
+            });
+            return false;
+        }
+        if (storeBufferUsed_ >= params_.storeBufferSlots)
+            return false;
+        ++storeBufferUsed_;
+        consume();
+        port_.request(id_, ctx_idx, op,
+                      [this]() { --storeBufferUsed_; });
+        return true;
+      }
+
+      case MemClass::None:
+        break;
+    }
+    panic("core %u: memory op with MemClass::None", id_);
+}
+
+void
+TcgCore::tick(Cycle now)
+{
+    if (liveContexts() == 0)
+        return;
+    ++cyclesActive_;
+    slotsOffered_ += static_cast<double>(params_.issueWidth);
+
+    for (auto &ctx : contexts_)
+        ctx.fetchedThisCycle = false;
+
+    // Slot visit order: round-robin rotation or least-laxity-first.
+    std::uint32_t order[16];
+    const std::uint32_t nslots = params_.maxRunning;
+    for (std::uint32_t s = 0; s < nslots; ++s)
+        order[s] = s;
+    if (params_.issuePolicy == IssuePolicy::RoundRobin) {
+        std::rotate(order, order + (rrSlot_ % nslots), order + nslots);
+        ++rrSlot_;
+    } else {
+        double laxity[16];
+        double min_laxity = std::numeric_limits<double>::infinity();
+        for (std::uint32_t s = 0; s < nslots; ++s) {
+            const Context *c = activeOf(s);
+            laxity[s] = c ? laxityOf(*c, now)
+                          : std::numeric_limits<double>::infinity();
+            min_laxity = std::min(min_laxity, laxity[s]);
+        }
+        std::sort(order, order + nslots,
+                  [&laxity](std::uint32_t a, std::uint32_t b) {
+                      return laxity[a] < laxity[b];
+                  });
+        // Hard gate: pause leaders so lagging deadline tasks close
+        // the gap (drop them from this cycle's issue order).
+        if (std::isfinite(min_laxity)) {
+            std::uint32_t kept = 0;
+            for (std::uint32_t k = 0; k < nslots; ++k) {
+                if (laxity[order[k]] <=
+                    min_laxity + static_cast<double>(params_.laxityGate))
+                    order[kept++] = order[k];
+            }
+            for (std::uint32_t k = kept; k < nslots; ++k)
+                order[k] = ~0u; // sentinel: skip
+        }
+    }
+
+    std::uint32_t budget = params_.issueWidth;
+    if (liveContexts() > params_.maxRunning && budget > 0 &&
+        rng_.chance(params_.pairingSelectTax))
+        --budget;
+    for (std::uint32_t k = 0; k < nslots && budget > 0; ++k) {
+        if (order[k] == ~0u)
+            continue; // laxity-gated leader
+        Context *ctx = activeOf(order[k]);
+        if (!ctx)
+            continue;
+        const std::uint32_t ctx_idx =
+            static_cast<std::uint32_t>(ctx - contexts_.data());
+        const std::uint32_t cap = ilpCap(*ctx);
+        std::uint32_t issued = 0;
+        while (budget > 0 && issued < cap) {
+            if (ctx->state != State::Running || ctx->readyAt > now)
+                break;
+            if (!fetchOk(*ctx, now))
+                break;
+            if (!ctx->hasPending) {
+                if (!ctx->stream || !ctx->stream->next(ctx->pending)) {
+                    finishTask(ctx_idx, now);
+                    break;
+                }
+                ctx->hasPending = true;
+            }
+            const MicroOp op = ctx->pending;
+            const std::uint64_t before = ctx->opsDone;
+            const bool keep_going = executeOp(ctx_idx, *ctx, op, now);
+            if (ctx->opsDone > before) {
+                ++issued;
+                --budget;
+            }
+            if (!keep_going)
+                break;
+        }
+    }
+}
+
+double
+TcgCore::ipc() const
+{
+    const double cycles = cyclesActive_.value();
+    return cycles > 0.0 ? committed_.value() / cycles : 0.0;
+}
+
+double
+TcgCore::idleSlotRatio() const
+{
+    const double offered = slotsOffered_.value();
+    return offered > 0.0 ? 1.0 - slotsUsed_.value() / offered : 0.0;
+}
+
+double
+TcgCore::starvationRatio() const
+{
+    const double offered = slotsOffered_.value();
+    return offered > 0.0
+        ? starveCycles_.value() / (offered / params_.issueWidth)
+        : 0.0;
+}
+
+} // namespace smarco::core

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Thread Core Group (TCG) core model (Section 3.1).
+ *
+ * A TCG core is a 4-wide-issue, 8-stage, in-order superscalar
+ * pipeline hosting 8 hardware thread contexts of which at most 4 run
+ * simultaneously. Threads are organised as in-pair (friend) threads:
+ * contexts i and i+4 share one run slot; when the running thread
+ * stalls on an SPM/D-cache miss its friend starts immediately,
+ * hiding memory latency even when both threads behave identically
+ * (Section 3.1.1). Parallel threads of the same kernel share one
+ * instruction segment prefetched into the SPM (Section 3.1.2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/mem_port.hpp"
+#include "isa/instr_stream.hpp"
+#include "mem/cache.hpp"
+#include "mem/spm.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "workloads/task.hpp"
+
+namespace smarco::core {
+
+/** Multithreading scheme, for the Fig. 17 ablation. */
+enum class ThreadScheme {
+    InPair,        ///< friend-thread switch on miss, 1-cycle bubble
+    CoarseGrained, ///< conventional switch-on-event, 8-cycle penalty
+    NoSwitch       ///< extra contexts stay idle (no latency hiding)
+};
+
+/** Issue arbitration among run slots (Fig. 21 scheduler hook). */
+enum class IssuePolicy {
+    RoundRobin,  ///< rotate fairly across run slots
+    LaxityAware  ///< least-laxity task issues first
+};
+
+/** Static configuration of one TCG core. */
+struct CoreParams {
+    std::uint32_t issueWidth = 4;
+    std::uint32_t pipelineDepth = 8;
+    std::uint32_t numThreads = 8;  ///< living contexts
+    std::uint32_t maxRunning = 4;  ///< run slots
+    ThreadScheme scheme = ThreadScheme::InPair;
+    IssuePolicy issuePolicy = IssuePolicy::RoundRobin;
+    Cycle pairSwitchPenalty = 1;
+    Cycle coarseSwitchPenalty = 8;
+    /** Issue-bandwidth tax of arbitrating 8 live contexts instead of
+     *  4 (probability of losing one issue slot per cycle while the
+     *  pairing scheduler is active). */
+    double pairingSelectTax = 0.10;
+    /** LaxityAware only: a slot whose task leads the core's most
+     *  urgent task by more than this many cycles of laxity is paused
+     *  so lagging same-deadline tasks catch up (Fig. 21). */
+    Cycle laxityGate = 2000;
+    Cycle spmLatency = 1;
+    Cycle branchPenalty = 6;  ///< ~pipeline depth - 2
+    Cycle icacheMissPenalty = 6; ///< refill from prefetched SPM segment
+    std::uint32_t storeBufferSlots = 8;
+    bool sharedInstrSegment = true;
+    /** Instruction-loop footprint per distinct kernel, bytes. */
+    std::uint64_t instrFootprint = 6 * 1024;
+    mem::CacheParams icache{"icache", 16 * 1024, 4, 64, 1};
+    mem::CacheParams dcache{"dcache", 16 * 1024, 4, 64, 2};
+    mem::SpmParams spm{};
+};
+
+/** Invoked when a task running on the core finishes. */
+using TaskDone = std::function<void(const workloads::TaskSpec &task,
+                                    Cycle finish)>;
+
+/**
+ * The TCG core. The chip constructs one per NoC core stop, wires its
+ * MemPort, and attaches tasks to free contexts (usually through the
+ * sub-ring scheduler).
+ */
+class TcgCore : public Ticking
+{
+  public:
+    TcgCore(Simulator &sim, CoreParams params, CoreId id,
+            Addr spm_base, MemPort &port,
+            const std::string &stat_prefix);
+
+    /**
+     * Attach a task to a free context.
+     * @return false when every context is occupied.
+     */
+    bool attachTask(const workloads::TaskSpec &task,
+                    isa::StreamPtr stream, TaskDone done);
+
+    /** Contexts currently free for dispatch. */
+    std::uint32_t freeContexts() const;
+    /** Contexts currently hosting live tasks. */
+    std::uint32_t liveContexts() const;
+
+    void tick(Cycle now) override;
+    bool busy() const override;
+
+    CoreId id() const { return id_; }
+    const CoreParams &params() const { return params_; }
+    mem::Spm &spm() { return spm_; }
+
+    /** Committed micro-ops so far. */
+    std::uint64_t committedOps() const
+    { return static_cast<std::uint64_t>(committed_.value()); }
+    /** IPC over the core's ticked lifetime. */
+    double ipc() const;
+    /** Fraction of issue slots that went unused. */
+    double idleSlotRatio() const;
+    /** Fraction of cycles lost to instruction starvation. */
+    double starvationRatio() const;
+
+    void setIssuePolicy(IssuePolicy policy)
+    { params_.issuePolicy = policy; }
+
+  private:
+    enum class State : std::uint8_t {
+        Idle,    ///< no task attached
+        Ready,   ///< has work, waiting for its run slot
+        Running, ///< owns its run slot
+        Stalled  ///< waiting for a memory response
+    };
+
+    struct Context {
+        State state = State::Idle;
+        workloads::TaskSpec task;
+        isa::StreamPtr stream;
+        TaskDone done;
+        std::uint64_t opsDone = 0;
+        Cycle readyAt = 0;      ///< earliest next issue cycle
+        Cycle taskStart = 0;
+        Addr pcBase = 0;
+        std::uint64_t fetchOff = 0;
+        isa::MicroOp pending{};
+        bool hasPending = false;
+        bool fetchedThisCycle = false;
+        Rng rng{0, 0};
+    };
+
+    /** Friend context index of ctx (its pair partner). */
+    std::uint32_t friendOf(std::uint32_t ctx) const;
+    /** Context currently eligible to issue for a run slot. */
+    Context *activeOf(std::uint32_t slot);
+    void stallThread(std::uint32_t ctx_idx, Cycle now);
+    void wakeThread(std::uint32_t ctx_idx, Cycle now);
+    void finishTask(std::uint32_t ctx_idx, Cycle now);
+    /** Per-thread issue limit this cycle from the task's ILP. */
+    std::uint32_t ilpCap(Context &ctx) const;
+    /** Model instruction fetch; false on I-starvation this cycle. */
+    bool fetchOk(Context &ctx, Cycle now);
+    /**
+     * Execute one micro-op for the context.
+     * @return true when the thread can keep issuing this cycle.
+     */
+    bool executeOp(std::uint32_t ctx_idx, Context &ctx,
+                   const isa::MicroOp &op, Cycle now);
+    double laxityOf(const Context &ctx, Cycle now) const;
+
+    Simulator &sim_;
+    CoreParams params_;
+    CoreId id_;
+    MemPort &port_;
+    mem::Cache icache_;
+    mem::Cache dcache_;
+    mem::Spm spm_;
+    std::vector<Context> contexts_;
+    std::uint32_t storeBufferUsed_ = 0;
+    std::uint32_t rrSlot_ = 0;
+    std::uint64_t pendingResponses_ = 0;
+    Rng rng_;
+
+    Scalar committed_;
+    Scalar cyclesActive_;
+    Scalar slotsOffered_;
+    Scalar slotsUsed_;
+    Scalar starveCycles_;
+    Scalar pairSwitches_;
+    Scalar stallsMem_;
+    Scalar tasksFinished_;
+};
+
+} // namespace smarco::core

@@ -1,0 +1,35 @@
+#include "isa/micro_op.hpp"
+
+#include "sim/logging.hpp"
+
+namespace smarco::isa {
+
+std::string
+toString(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Alu: return "alu";
+      case OpKind::Mul: return "mul";
+      case OpKind::Fp: return "fp";
+      case OpKind::Branch: return "branch";
+      case OpKind::Load: return "load";
+      case OpKind::Store: return "store";
+      case OpKind::Halt: return "halt";
+    }
+    panic("toString: bad OpKind %d", static_cast<int>(kind));
+}
+
+std::string
+toString(MemClass mem_class)
+{
+    switch (mem_class) {
+      case MemClass::None: return "none";
+      case MemClass::SpmLocal: return "spm-local";
+      case MemClass::SpmRemote: return "spm-remote";
+      case MemClass::Heap: return "heap";
+      case MemClass::Stream: return "stream";
+    }
+    panic("toString: bad MemClass %d", static_cast<int>(mem_class));
+}
+
+} // namespace smarco::isa

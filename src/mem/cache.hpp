@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Set-associative cache tag model with LRU replacement.
+ *
+ * Used for the 16 KB I/D caches of the TCG cores and for the
+ * three-level hierarchy of the conventional baseline chip. Only tags
+ * are modelled; data movement is accounted by the callers in packets
+ * and DRAM traffic.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace smarco::mem {
+
+/** Configuration of one cache level. */
+struct CacheParams {
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 16 * 1024;
+    std::uint32_t assoc = 4;
+    std::uint32_t lineBytes = 64;
+    Cycle hitLatency = 2;
+};
+
+/** Outcome of a cache access. */
+struct CacheResult {
+    bool hit = false;
+    /** Line fill evicted a dirty victim that must be written back. */
+    bool writeback = false;
+    /** Address of the dirty victim line (valid when writeback). */
+    Addr victimAddr = kNoAddr;
+};
+
+/**
+ * LRU set-associative cache. access() performs lookup and, on miss,
+ * allocates the line immediately (the timing of the fill is the
+ * caller's concern; this keeps the tag model reusable by both chips).
+ */
+class Cache
+{
+  public:
+    Cache(StatRegistry &stats, CacheParams params,
+          const std::string &stat_prefix);
+
+    /** Look up addr; allocate on miss; update LRU and dirty bits. */
+    CacheResult access(Addr addr, bool write);
+
+    /** Look up without allocating or touching LRU (for tests). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything (task switch on baseline SMT, tests). */
+    void flush();
+
+    const CacheParams &params() const { return params_; }
+
+    std::uint64_t hits() const
+    { return static_cast<std::uint64_t>(hits_.value()); }
+    std::uint64_t misses() const
+    { return static_cast<std::uint64_t>(misses_.value()); }
+    double missRatio() const;
+
+  private:
+    struct Line {
+        Addr tag = kNoAddr;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams params_;
+    std::uint64_t numSets_;
+    std::vector<Line> lines_; // numSets * assoc, set-major
+    std::uint64_t useClock_ = 0;
+
+    Scalar hits_;
+    Scalar misses_;
+    Scalar writebacks_;
+};
+
+} // namespace smarco::mem

@@ -1,0 +1,126 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace smarco::mem {
+
+DramController::DramController(Simulator &sim, DramParams params,
+                               const std::string &stat_prefix)
+    : sim_(sim),
+      params_(params),
+      channels_(params.channels),
+      requests_(sim.stats(), stat_prefix + ".requests",
+                "DRAM requests served"),
+      bytes_(sim.stats(), stat_prefix + ".bytes",
+             "DRAM data bytes moved"),
+      readLatency_(sim.stats(), stat_prefix + ".latency",
+                   "mean read service latency (cycles)"),
+      queueDelay_(sim.stats(), stat_prefix + ".queueDelay",
+                  "mean cycles spent queued at the channel")
+{
+    if (params_.channels == 0)
+        fatal("DRAM: zero channels");
+    if (params_.bytesPerCycle <= 0.0)
+        fatal("DRAM: non-positive bandwidth");
+}
+
+std::uint32_t
+DramController::channelOf(Addr addr) const
+{
+    // XOR-fold higher line bits into the channel selector so strided
+    // access patterns (e.g. 256-byte DMA chunks = 4 lines) still
+    // spread across channels instead of camping on one.
+    const Addr line = addr / params_.interleaveBytes;
+    const Addr folded = line ^ (line >> 2) ^ (line >> 5) ^ (line >> 9);
+    return static_cast<std::uint32_t>(folded % params_.channels);
+}
+
+void
+DramController::serve(Addr addr, std::uint32_t data_bytes, Cycle now,
+                      Done done, DramClass cls)
+{
+    const std::uint32_t ch = channelOf(addr);
+    Channel &channel = channels_[ch];
+    Request req{addr, data_bytes, now, std::move(done)};
+    switch (cls) {
+      case DramClass::DemandRead:
+        channel.demandQ.push_back(std::move(req));
+        break;
+      case DramClass::Bulk:
+        channel.bulkQ.push_back(std::move(req));
+        break;
+      case DramClass::Write:
+        channel.writeQ.push_back(std::move(req));
+        break;
+    }
+    if (!channel.serving) {
+        channel.serving = true;
+        serviceNext(ch);
+    }
+}
+
+void
+DramController::serviceNext(std::uint32_t ch)
+{
+    Channel &channel = channels_[ch];
+    const bool reads_pending =
+        !channel.demandQ.empty() || !channel.bulkQ.empty();
+    const bool drain_writes =
+        channel.writeQ.size() >= params_.writeDrainThreshold ||
+        !reads_pending;
+    std::deque<Request> *q = nullptr;
+    if (drain_writes && !channel.writeQ.empty()) {
+        q = &channel.writeQ;
+    } else if (!channel.demandQ.empty() &&
+               (channel.bulkQ.empty() ||
+                channel.demandStreak < params_.demandStreakLimit)) {
+        q = &channel.demandQ;
+        ++channel.demandStreak;
+    } else if (!channel.bulkQ.empty()) {
+        q = &channel.bulkQ;
+        channel.demandStreak = 0;
+    }
+    if (!q) {
+        channel.serving = false;
+        return;
+    }
+    const bool is_read = q != &channel.writeQ;
+
+    Request req = std::move(q->front());
+    q->pop_front();
+
+    const Cycle now = sim_.now();
+    const Cycle transfer = static_cast<Cycle>(std::ceil(
+        static_cast<double>(req.bytes) / params_.bytesPerCycle));
+    const Cycle busy =
+        params_.requestOverhead + std::max<Cycle>(transfer, 1);
+    const Cycle finish = now + params_.accessLatency + transfer;
+
+    ++requests_;
+    bytes_ += static_cast<double>(req.bytes);
+    queueDelay_.sample(static_cast<double>(now - req.enqueued));
+    if (is_read)
+        readLatency_.sample(static_cast<double>(finish - req.enqueued));
+
+    if (req.done)
+        sim_.events().schedule(finish, std::move(req.done));
+    sim_.events().schedule(now + busy,
+                           [this, ch]() { serviceNext(ch); });
+}
+
+bool
+DramController::busyNow() const
+{
+    for (const auto &c : channels_) {
+        if (c.serving || !c.demandQ.empty() || !c.bulkQ.empty() ||
+            !c.writeQ.empty())
+            return true;
+    }
+    return false;
+}
+
+} // namespace smarco::mem

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * DDR main-memory model (Section 3.5.3).
+ *
+ * SmarCo attaches four memory controllers to the main ring, each
+ * driving a 128-bit DDR4-2133 channel; total bandwidth 136.5 GB/s.
+ * Each channel owns read and write queues: demand reads are served
+ * first (posted writes drain opportunistically or when their queue
+ * fills), every request pays a fixed command overhead plus a
+ * bandwidth-limited data transfer, and completion is event-driven.
+ * This captures the effects the evaluation depends on: queueing
+ * under load, write interference, and request-count sensitivity
+ * (which is what the MACT attacks).
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/mem_types.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace smarco::mem {
+
+/** Configuration of the DRAM subsystem. */
+struct DramParams {
+    std::uint32_t channels = 4;
+    /** Data bytes one channel moves per core cycle.
+     *  34.125 GB/s per channel at 1.5 GHz core clock = 22.75 B/cy. */
+    double bytesPerCycle = 22.75;
+    /** Fixed access latency (activate + CAS + controller). */
+    Cycle accessLatency = 48;
+    /** Fixed per-request command/bank overhead. */
+    Cycle requestOverhead = 2;
+    /** Writes are force-drained when this many are queued. */
+    std::uint32_t writeDrainThreshold = 16;
+    /** Serve one bulk request after this many consecutive demand
+     *  reads (anti-starvation share for DMA traffic). */
+    std::uint32_t demandStreakLimit = 3;
+    /** Line interleaving granularity across channels. */
+    std::uint32_t interleaveBytes = 64;
+};
+
+/** Service class of a DRAM access. Demand reads stall pipelines and
+ *  are served first; bulk transfers (DMA staging, prefetch) fill in;
+ *  posted writes drain opportunistically. */
+enum class DramClass : std::uint8_t { DemandRead, Bulk, Write };
+
+/**
+ * Multi-channel DRAM controller. serve() enqueues an access of
+ * data_bytes and invokes done when the transfer completes.
+ */
+class DramController
+{
+  public:
+    using Done = std::function<void()>;
+
+    DramController(Simulator &sim, DramParams params,
+                   const std::string &stat_prefix);
+
+    /**
+     * Enqueue an access of the given service class; done may be
+     * empty (posted writes, fire-and-forget bulk).
+     */
+    void serve(Addr addr, std::uint32_t data_bytes, Cycle now, Done done,
+               DramClass cls = DramClass::DemandRead);
+
+    /** Back-compat helper for plain read/write call sites. */
+    void
+    serve(Addr addr, std::uint32_t data_bytes, Cycle now, Done done,
+          bool is_write)
+    {
+        serve(addr, data_bytes, now, std::move(done),
+              is_write ? DramClass::Write : DramClass::DemandRead);
+    }
+
+    /** Channel index an address maps to. */
+    std::uint32_t channelOf(Addr addr) const;
+
+    const DramParams &params() const { return params_; }
+
+    std::uint64_t requestsServed() const
+    { return static_cast<std::uint64_t>(requests_.value()); }
+    double avgReadLatency() const { return readLatency_.value(); }
+    double avgQueueDelay() const { return queueDelay_.value(); }
+    double totalBytes() const { return bytes_.value(); }
+
+    /** True while any channel has queued or in-service requests. */
+    bool busyNow() const;
+
+  private:
+    struct Request {
+        Addr addr;
+        std::uint32_t bytes;
+        Cycle enqueued;
+        Done done;
+    };
+
+    struct Channel {
+        std::deque<Request> demandQ;
+        std::deque<Request> bulkQ;
+        std::deque<Request> writeQ;
+        std::uint32_t demandStreak = 0;
+        bool serving = false;
+    };
+
+    void serviceNext(std::uint32_t ch);
+
+    Simulator &sim_;
+    DramParams params_;
+    std::vector<Channel> channels_;
+
+    Scalar requests_;
+    Scalar bytes_;
+    Average readLatency_;
+    Average queueDelay_;
+};
+
+} // namespace smarco::mem

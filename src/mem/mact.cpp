@@ -1,0 +1,175 @@
+#include "mem/mact.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace smarco::mem {
+
+std::uint32_t
+MactBatch::coveredBytes() const
+{
+    return static_cast<std::uint32_t>(std::popcount(vector));
+}
+
+std::uint32_t
+MactBatch::wireBytes() const
+{
+    // Header + base address/vector metadata; writes also carry the
+    // merged payload bytes.
+    const std::uint32_t meta = kReqHeaderBytes + 8;
+    return write ? meta + coveredBytes() : meta;
+}
+
+Mact::Mact(Simulator &sim, MactParams params,
+           const std::string &stat_prefix)
+    : params_(params),
+      table_(params.lines),
+      collected_(sim.stats(), stat_prefix + ".collected",
+                 "requests absorbed into the table"),
+      bypassed_(sim.stats(), stat_prefix + ".bypassed",
+                "requests refused (priority/oversize/straddle)"),
+      batches_(sim.stats(), stat_prefix + ".batches",
+               "batch packets emitted"),
+      fullFlushes_(sim.stats(), stat_prefix + ".fullFlushes",
+                   "lines flushed because the bitmap filled"),
+      deadlineFlushes_(sim.stats(), stat_prefix + ".deadlineFlushes",
+                       "lines flushed by the threshold timer"),
+      capacityFlushes_(sim.stats(), stat_prefix + ".capacityFlushes",
+                       "lines flushed to make room"),
+      batchSize_(sim.stats(), stat_prefix + ".batchSize",
+                 "requests merged per batch")
+{
+    if (params_.lines == 0)
+        fatal("MACT: zero lines");
+    if (params_.lineBytes != 64)
+        fatal("MACT: only 64-byte lines supported (got %u)",
+              params_.lineBytes);
+    if (params_.threshold == 0)
+        fatal("MACT: zero threshold");
+    sim.addTicking(this);
+}
+
+void
+Mact::setSink(BatchSink sink)
+{
+    sink_ = std::move(sink);
+}
+
+std::uint64_t
+Mact::fullVector() const
+{
+    return ~std::uint64_t{0};
+}
+
+bool
+Mact::collect(const MemRequest &req, Cycle now)
+{
+    if (!params_.enabled || req.priority ||
+        req.bytes > params_.maxCollectBytes || req.bytes == 0) {
+        ++bypassed_;
+        return false;
+    }
+    const Addr base = req.addr & ~static_cast<Addr>(params_.lineBytes - 1);
+    const std::uint32_t off =
+        static_cast<std::uint32_t>(req.addr - base);
+    if (off + req.bytes > params_.lineBytes) {
+        // Line-straddling access: not representable in one bitmap.
+        ++bypassed_;
+        return false;
+    }
+    const std::uint64_t bits =
+        (req.bytes == 64 ? fullVector()
+                         : ((std::uint64_t{1} << req.bytes) - 1) << off);
+
+    // Try to merge into an existing line of the same type.
+    Line *free_line = nullptr;
+    Line *oldest = nullptr;
+    for (auto &line : table_) {
+        if (!line.valid) {
+            if (!free_line)
+                free_line = &line;
+            continue;
+        }
+        if (!oldest || line.firstCollect < oldest->firstCollect)
+            oldest = &line;
+        if (line.write == req.write && line.base == base) {
+            line.vector |= bits;
+            line.requests.push_back(req);
+            ++collected_;
+            if (line.vector == fullVector()) {
+                ++fullFlushes_;
+                flushLine(line);
+            }
+            return true;
+        }
+    }
+
+    // Allocate; evict the oldest line when the table is full.
+    Line *slot = free_line;
+    if (!slot) {
+        ++capacityFlushes_;
+        flushLine(*oldest);
+        slot = oldest;
+    }
+    slot->valid = true;
+    slot->write = req.write;
+    slot->base = base;
+    slot->vector = bits;
+    slot->firstCollect = now;
+    slot->requests.clear();
+    slot->requests.push_back(req);
+    ++used_;
+    ++collected_;
+    if (slot->vector == fullVector()) {
+        ++fullFlushes_;
+        flushLine(*slot);
+    }
+    return true;
+}
+
+void
+Mact::tick(Cycle now)
+{
+    if (used_ == 0)
+        return;
+    for (auto &line : table_) {
+        if (line.valid && now >= line.firstCollect + params_.threshold) {
+            ++deadlineFlushes_;
+            flushLine(line);
+        }
+    }
+}
+
+void
+Mact::flushAll()
+{
+    for (auto &line : table_) {
+        if (line.valid)
+            flushLine(line);
+    }
+}
+
+void
+Mact::flushLine(Line &line)
+{
+    if (!sink_)
+        panic("MACT flush before setSink");
+    MactBatch batch;
+    batch.write = line.write;
+    batch.lineBase = line.base;
+    batch.vector = line.vector;
+    batch.requests = std::move(line.requests);
+    batchSize_.sample(static_cast<double>(batch.requests.size()));
+    ++batches_;
+
+    line.valid = false;
+    line.requests.clear();
+    if (used_ == 0)
+        panic("MACT occupancy underflow");
+    --used_;
+    sink_(std::move(batch));
+}
+
+} // namespace smarco::mem

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Memory Access Collection Table (Section 3.4).
+ *
+ * One MACT sits at each sub-ring gateway and merges the small,
+ * discrete memory requests of that sub-ring's cores into per-line
+ * batches. A line holds {Type, Tag, Vector, Threshold}: request type
+ * (read/write), the 64-byte base address, a byte bitmap, and a
+ * deadline timer. A line is flushed to memory when its bitmap fills
+ * or its deadline expires; requests marked with superior real-time
+ * priority bypass the table entirely.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/mem_types.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace smarco::mem {
+
+/** Configuration of one MACT instance. */
+struct MactParams {
+    bool enabled = true;
+    std::uint32_t lines = 32;
+    /** Deadline: max cycles a request may wait in the table. */
+    Cycle threshold = 16;
+    std::uint32_t lineBytes = 64;
+    /** Requests larger than this bypass (already efficient). */
+    std::uint32_t maxCollectBytes = 16;
+};
+
+/** One flushed batch: a merged per-line memory access. */
+struct MactBatch {
+    bool write = false;
+    Addr lineBase = kNoAddr;
+    std::uint64_t vector = 0;
+    /** The original requests merged into this batch. */
+    std::vector<MemRequest> requests;
+
+    /** Number of distinct bytes covered by the bitmap. */
+    std::uint32_t coveredBytes() const;
+
+    /** Wire size of the batch request packet. */
+    std::uint32_t wireBytes() const;
+};
+
+/**
+ * The collection table. collect() either absorbs a request (returns
+ * true; the caller must not forward it) or refuses it (priority,
+ * oversize, line-straddling), in which case the caller forwards the
+ * request on the ordinary path. Flushed batches are handed to the
+ * sink installed by the chip.
+ */
+class Mact : public Ticking
+{
+  public:
+    using BatchSink = std::function<void(MactBatch &&batch)>;
+
+    Mact(Simulator &sim, MactParams params,
+         const std::string &stat_prefix);
+
+    /** Install the flush destination (wired by the chip). */
+    void setSink(BatchSink sink);
+
+    /** Offer a request to the table at cycle now. */
+    bool collect(const MemRequest &req, Cycle now);
+
+    /** Deadline scan. */
+    void tick(Cycle now) override;
+    bool busy() const override { return used_ > 0; }
+
+    /** Force-flush every occupied line (end of run / drain). */
+    void flushAll();
+
+    const MactParams &params() const { return params_; }
+    std::uint32_t occupancy() const { return used_; }
+
+    std::uint64_t collected() const
+    { return static_cast<std::uint64_t>(collected_.value()); }
+    std::uint64_t bypassed() const
+    { return static_cast<std::uint64_t>(bypassed_.value()); }
+    std::uint64_t batches() const
+    { return static_cast<std::uint64_t>(batches_.value()); }
+
+  private:
+    struct Line {
+        bool valid = false;
+        bool write = false;
+        Addr base = kNoAddr;
+        std::uint64_t vector = 0;
+        Cycle firstCollect = 0;
+        std::vector<MemRequest> requests;
+    };
+
+    void flushLine(Line &line);
+    std::uint64_t fullVector() const;
+
+    MactParams params_;
+    BatchSink sink_;
+    std::vector<Line> table_;
+    std::uint32_t used_ = 0;
+
+    Scalar collected_;
+    Scalar bypassed_;
+    Scalar batches_;
+    Scalar fullFlushes_;
+    Scalar deadlineFlushes_;
+    Scalar capacityFlushes_;
+    Average batchSize_;
+};
+
+} // namespace smarco::mem

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared memory-system request/response types and the chip memory map.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hpp"
+
+namespace smarco::mem {
+
+/**
+ * Unified address map of the SmarCo chip. SPMs are initialised with
+ * unified addressing with main memory (Section 3.5.1): every core's
+ * scratch-pad occupies a fixed window, and DRAM sits above.
+ */
+struct MemoryMap {
+    Addr spmBase = 0x1000'0000;
+    std::uint64_t spmPerCore = 128 * 1024;
+    std::uint32_t numCores = 256;
+    Addr dramBase = 0x8000'0000;
+    std::uint64_t dramSize = 64ull * 1024 * 1024 * 1024;
+
+    /** Base address of core's scratch-pad window. */
+    Addr
+    spmBaseOf(CoreId core) const
+    {
+        return spmBase + static_cast<Addr>(core) * spmPerCore;
+    }
+
+    /** True when addr falls in any scratch-pad window. */
+    bool
+    isSpm(Addr addr) const
+    {
+        return addr >= spmBase &&
+               addr < spmBase + static_cast<Addr>(numCores) * spmPerCore;
+    }
+
+    /** Core owning a scratch-pad address; addr must satisfy isSpm. */
+    CoreId
+    spmOwner(Addr addr) const
+    {
+        return static_cast<CoreId>((addr - spmBase) / spmPerCore);
+    }
+
+    bool isDram(Addr addr) const { return addr >= dramBase; }
+};
+
+/** A single in-flight memory request. */
+struct MemRequest {
+    std::uint64_t id = 0;
+    bool write = false;
+    Addr addr = kNoAddr;
+    std::uint32_t bytes = 0;
+    /** Superior real-time priority: bypasses MACT, may use the
+     *  direct datapath (Sections 3.4, 3.5.2). */
+    bool priority = false;
+    CoreId core = 0;
+    ThreadId thread = 0;
+    Cycle issued = 0;
+};
+
+/** Completion callback carrying the original request. */
+using MemCallback = std::function<void(const MemRequest &)>;
+
+/** Approximate wire overhead of a request header, in bytes. */
+inline constexpr std::uint32_t kReqHeaderBytes = 8;
+/** Wire size of a read request packet (header + address/meta). */
+inline constexpr std::uint32_t kReadReqBytes = 12;
+/** Wire size of a small ack packet. */
+inline constexpr std::uint32_t kAckBytes = 4;
+
+} // namespace smarco::mem

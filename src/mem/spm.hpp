@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Scratch-Pad Memory (SPM) and its DMA engine (Section 3.5.1).
+ *
+ * Each TCG core owns a 128 KB programmer-managed SPM mapped into the
+ * unified address space. The top 256 bytes act as control registers
+ * (DMA source/destination/size). DMA moves data between the SPM and
+ * DRAM or a neighbour's SPM without blocking the pipeline.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace smarco::mem {
+
+/** Configuration of one scratch-pad. */
+struct SpmParams {
+    std::uint64_t sizeBytes = 128 * 1024;
+    /** Bytes reserved at the top for DMA control registers. */
+    std::uint64_t controlBytes = 256;
+    Cycle accessLatency = 1;
+    /** Bytes one DMA transfer moves per chunk packet. */
+    std::uint32_t dmaChunkBytes = 256;
+};
+
+/**
+ * One core's scratch-pad. The SPM itself is a latency/occupancy
+ * model; actual payload bytes live in the functional layer (the
+ * MapReduce runtime keeps real data host-side).
+ */
+class Spm
+{
+  public:
+    Spm(StatRegistry &stats, SpmParams params, Addr base,
+        const std::string &stat_prefix);
+
+    /** True when addr lies inside this scratch-pad's data region. */
+    bool contains(Addr addr) const;
+
+    /** True when addr falls in the DMA control-register window. */
+    bool isControl(Addr addr) const;
+
+    /** Account one pipeline access; returns its latency. */
+    Cycle access(bool write);
+
+    Addr base() const { return base_; }
+    const SpmParams &params() const { return params_; }
+    std::uint64_t dataBytes() const
+    { return params_.sizeBytes - params_.controlBytes; }
+
+    std::uint64_t reads() const
+    { return static_cast<std::uint64_t>(reads_.value()); }
+    std::uint64_t writes() const
+    { return static_cast<std::uint64_t>(writes_.value()); }
+
+  private:
+    SpmParams params_;
+    Addr base_;
+    Scalar reads_;
+    Scalar writes_;
+};
+
+/**
+ * DMA engine attached to an SPM. The engine hands chunk-granularity
+ * transfer requests to a transport function supplied by the chip
+ * (which injects them into the NoC / memory system) and invokes the
+ * completion callback when every chunk has been acknowledged.
+ */
+class DmaEngine
+{
+  public:
+    /** Transport: move one chunk; call done() when it completes. */
+    using Transport =
+        std::function<void(Addr src, Addr dst, std::uint32_t bytes,
+                           std::function<void()> done)>;
+
+    DmaEngine(StatRegistry &stats, std::uint32_t chunk_bytes,
+              const std::string &stat_prefix,
+              std::uint32_t max_outstanding = 4);
+
+    /** Install the chunk transport (wired by the chip). */
+    void setTransport(Transport transport);
+
+    /**
+     * Start a transfer of bytes from src to dst; done runs once the
+     * final chunk completes. Multiple transfers may be in flight.
+     */
+    void start(Addr src, Addr dst, std::uint64_t bytes,
+               std::function<void()> done);
+
+    bool busy() const { return inFlight_ > 0; }
+    std::uint64_t transfersStarted() const
+    { return static_cast<std::uint64_t>(transfers_.value()); }
+
+  private:
+    struct Chunk {
+        Addr src;
+        Addr dst;
+        std::uint32_t bytes;
+        std::function<void()> onChunk;
+    };
+
+    void issueNext();
+
+    std::uint32_t chunkBytes_;
+    std::uint32_t maxOutstanding_;
+    Transport transport_;
+    std::uint64_t inFlight_ = 0;
+    std::uint32_t outstanding_ = 0;
+    std::vector<Chunk> queue_;   ///< pending chunks, FIFO by index
+    std::size_t queueHead_ = 0;
+    Scalar transfers_;
+    Scalar chunkCount_;
+    Scalar bytesMoved_;
+};
+
+} // namespace smarco::mem

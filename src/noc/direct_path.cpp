@@ -1,0 +1,52 @@
+#include "noc/direct_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace smarco::noc {
+
+DirectPath::DirectPath(Simulator &sim, DirectPathParams params,
+                       const std::string &stat_prefix)
+    : sim_(sim),
+      params_(params),
+      nextFree_(params.numSubRings, 0),
+      transfers_(sim.stats(), stat_prefix + ".transfers",
+                 "direct-path transfers"),
+      bytes_(sim.stats(), stat_prefix + ".bytes",
+             "direct-path payload bytes"),
+      latency_(sim.stats(), stat_prefix + ".latency",
+               "mean direct-path latency (cycles)")
+{
+    if (params_.numSubRings == 0)
+        fatal("direct path: zero sub-rings");
+    if (params_.bytesPerCycle <= 0.0)
+        fatal("direct path: non-positive bandwidth");
+}
+
+void
+DirectPath::transfer(std::uint32_t sub_ring,
+                     std::uint32_t payload_bytes, Cycle now, Done done)
+{
+    if (!params_.enabled)
+        panic("direct path used while disabled");
+    if (sub_ring >= nextFree_.size())
+        panic("direct path: bad sub-ring %u", sub_ring);
+
+    const Cycle start = std::max(now, nextFree_[sub_ring]);
+    const Cycle serialise = static_cast<Cycle>(std::ceil(
+        static_cast<double>(payload_bytes) / params_.bytesPerCycle));
+    nextFree_[sub_ring] = start + std::max<Cycle>(serialise, 1);
+    const Cycle arrive = start + params_.linkLatency + serialise;
+
+    ++transfers_;
+    bytes_ += static_cast<double>(payload_bytes);
+    latency_.sample(static_cast<double>(arrive - now));
+
+    if (done)
+        sim_.events().schedule(arrive, std::move(done));
+}
+
+} // namespace smarco::noc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Direct memory-access datapath (Section 3.5.2, Fig. 14).
+ *
+ * Each sub-ring owns a dedicated star-shaped link to the memory
+ * complex so that control messages and high-real-time-priority read
+ * requests can bypass the rings entirely, keeping their latency
+ * predictable even when the NoC is congested.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace smarco::noc {
+
+/** Configuration of the star datapath. */
+struct DirectPathParams {
+    bool enabled = true;
+    std::uint32_t numSubRings = 16;
+    /** One-way latency of a star link, in cycles. */
+    Cycle linkLatency = 6;
+    /** Bytes one star link moves per cycle. */
+    double bytesPerCycle = 8.0;
+};
+
+/**
+ * Star links from sub-rings to the memory complex. transfer() moves
+ * payload_bytes one way and fires done at arrival; each link is a
+ * bandwidth-limited pipe with FIFO queueing.
+ */
+class DirectPath
+{
+  public:
+    using Done = std::function<void()>;
+
+    DirectPath(Simulator &sim, DirectPathParams params,
+               const std::string &stat_prefix);
+
+    bool enabled() const { return params_.enabled; }
+
+    /**
+     * Move payload_bytes over sub-ring's star link starting at now;
+     * done fires at the arrival cycle.
+     */
+    void transfer(std::uint32_t sub_ring, std::uint32_t payload_bytes,
+                  Cycle now, Done done);
+
+    std::uint64_t transfers() const
+    { return static_cast<std::uint64_t>(transfers_.value()); }
+    double avgLatency() const { return latency_.value(); }
+
+  private:
+    Simulator &sim_;
+    DirectPathParams params_;
+    std::vector<Cycle> nextFree_;
+
+    Scalar transfers_;
+    Scalar bytes_;
+    Average latency_;
+};
+
+} // namespace smarco::noc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * NoC packet and endpoint naming.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace smarco::noc {
+
+/** Classes of NoC endpoints on the SmarCo chip. */
+enum class NodeKind : std::uint8_t {
+    Core,    ///< one of the 256 TCG cores
+    MemCtrl, ///< one of the 4 DDR controllers on the main ring
+    Gateway, ///< sub-ring <-> main-ring router (MACT lives here)
+    Io       ///< PCIe / host interface stop on the main ring
+};
+
+/** Address of a NoC endpoint. */
+struct NodeId {
+    NodeKind kind = NodeKind::Core;
+    std::uint32_t index = 0;
+
+    bool
+    operator==(const NodeId &o) const
+    {
+        return kind == o.kind && index == o.index;
+    }
+};
+
+/** Human-readable endpoint name, e.g. "core42" or "mc1". */
+std::string toString(NodeId node);
+
+/** Payload classes, for statistics and interception decisions. */
+enum class PacketKind : std::uint8_t {
+    MemReadReq,
+    MemWriteReq,
+    MemReadResp,
+    MemWriteAck,
+    MactBatchReq,
+    MactBatchResp,
+    DmaChunk,
+    SpmRemoteReq,
+    SpmRemoteResp,
+    Control
+};
+
+std::string toString(PacketKind kind);
+
+/**
+ * One NoC packet. Semantics travel in the onDeliver closure set by
+ * the sender; the network only moves bytes and invokes the closure at
+ * the destination. meta carries a sender-defined token (request id)
+ * for interceptors that need it.
+ */
+struct Packet {
+    std::uint64_t id = 0;
+    NodeId src;
+    NodeId dst;
+    PacketKind kind = PacketKind::Control;
+    std::uint32_t payloadBytes = 8;
+    bool priority = false;
+    Cycle created = 0;
+    std::uint64_t meta = 0;
+    std::function<void()> onDeliver;
+};
+
+} // namespace smarco::noc

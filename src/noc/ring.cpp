@@ -1,0 +1,282 @@
+#include "noc/ring.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace smarco::noc {
+
+Ring::Ring(Simulator &sim, RingParams params,
+           const std::string &stat_prefix)
+    : sim_(sim),
+      params_(std::move(params)),
+      stops_(params_.numStops),
+      delivered_(sim.stats(), stat_prefix + ".delivered",
+                 "packets delivered"),
+      injected_(sim.stats(), stat_prefix + ".injected",
+                "packets injected"),
+      injectRejects_(sim.stats(), stat_prefix + ".injectRejects",
+                     "injections refused (queue full)"),
+      bytesMoved_(sim.stats(), stat_prefix + ".bytesMoved",
+                  "payload bytes moved across links"),
+      wireBytesUsed_(sim.stats(), stat_prefix + ".wireBytesUsed",
+                     "slice-quantised wire bytes consumed"),
+      cyclesTicked_(sim.stats(), stat_prefix + ".cycles",
+                    "cycles this ring was ticked"),
+      hopLatency_(sim.stats(), stat_prefix + ".latency",
+                  "mean in-ring packet latency (cycles)"),
+      occupancy_(sim.stats(), stat_prefix + ".occupancy",
+                 "mean queued packets per cycle")
+{
+    if (params_.numStops < 3)
+        fatal("ring %s: need at least 3 stops", params_.name.c_str());
+    if (params_.fixedBytesPerDir == 0 && params_.flexBytes == 0)
+        fatal("ring %s: zero link width", params_.name.c_str());
+    // Slices wider than a datapath are clamped to the per-cycle
+    // budget at transfer time (they behave like conventional links).
+    sim.addTicking(this);
+}
+
+void
+Ring::setHandler(std::uint32_t stop, Handler handler)
+{
+    if (stop >= stops_.size())
+        panic("ring %s: setHandler on stop %u of %zu",
+              params_.name.c_str(), stop, stops_.size());
+    stops_[stop].handler = std::move(handler);
+}
+
+std::uint32_t
+Ring::distance(std::uint32_t a, std::uint32_t b, std::uint32_t dir) const
+{
+    const std::uint32_t n = params_.numStops;
+    return dir == 0 ? (b + n - a) % n : (a + n - b) % n;
+}
+
+std::uint32_t
+Ring::quantise(std::uint32_t bytes, std::uint32_t slice) const
+{
+    return ((bytes + slice - 1) / slice) * slice;
+}
+
+bool
+Ring::inject(std::uint32_t src_stop, std::uint32_t dst_stop,
+             Packet &&pkt)
+{
+    if (src_stop >= stops_.size() || dst_stop >= stops_.size())
+        panic("ring %s: inject %u->%u out of range",
+              params_.name.c_str(), src_stop, dst_stop);
+    if (src_stop == dst_stop)
+        panic("ring %s: self-injection at stop %u",
+              params_.name.c_str(), src_stop);
+
+    Stop &s = stops_[src_stop];
+
+    // Direction choice (Fig. 7): shortest path first, but divert to
+    // the longer way when the preferred side is clearly congested and
+    // the detour is not much longer.
+    const std::uint32_t d0 = distance(src_stop, dst_stop, 0);
+    const std::uint32_t d1 = distance(src_stop, dst_stop, 1);
+    std::uint32_t dir = d0 <= d1 ? 0 : 1;
+    const std::uint32_t alt = dir ^ 1;
+    const std::uint64_t pref_q =
+        s.inject[dir].size() + s.through[dir].size();
+    const std::uint64_t alt_q =
+        s.inject[alt].size() + s.through[alt].size();
+    const std::uint32_t detour =
+        (dir == 0 ? d1 : d0) - std::min(d0, d1);
+    if (pref_q > alt_q + 4 && detour <= params_.numStops / 4)
+        dir = alt;
+
+    if (s.inject[dir].size() >= params_.injectQueueCap) {
+        ++injectRejects_;
+        return false;
+    }
+
+    Transit t;
+    t.dstStop = dst_stop;
+    t.remBytes = std::max<std::uint32_t>(pkt.payloadBytes, 1);
+    t.enqueued = sim_.now();
+    t.pkt = std::move(pkt);
+    if (t.pkt.priority)
+        s.inject[dir].push_front(std::move(t));
+    else
+        s.inject[dir].push_back(std::move(t));
+    ++inFlight_;
+    ++injected_;
+    return true;
+}
+
+std::uint64_t
+Ring::pendingBytes(const Stop &s, std::uint32_t d) const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : s.through[d])
+        total += t.remBytes;
+    for (const auto &t : s.inject[d])
+        total += t.remBytes;
+    return total;
+}
+
+std::uint32_t
+Ring::dirBudget(const Stop &s, std::uint32_t d) const
+{
+    std::uint32_t budget = params_.fixedBytesPerDir;
+    if (params_.flexBytes > 0) {
+        // Assign each bidirectional datapath unit to the direction
+        // with more pending bytes this cycle.
+        const std::uint64_t p0 = pendingBytes(s, 0);
+        const std::uint64_t p1 = pendingBytes(s, 1);
+        const std::uint32_t units =
+            params_.flexBytes / params_.flexUnitBytes;
+        std::uint32_t mine = 0;
+        if (p0 == p1) {
+            mine = units / 2 + (d == 0 ? units % 2 : 0);
+        } else {
+            const std::uint32_t heavy = p0 > p1 ? 0u : 1u;
+            // Heavier side takes all but one unit (keeps a trickle
+            // flowing the other way), unless the light side is empty.
+            const std::uint64_t light_pending = heavy == 0 ? p1 : p0;
+            std::uint32_t heavy_units =
+                light_pending == 0 ? units
+                                   : (units > 1 ? units - 1 : units);
+            mine = d == heavy ? heavy_units : units - heavy_units;
+        }
+        budget += mine * params_.flexUnitBytes;
+    }
+    return budget;
+}
+
+void
+Ring::eject(Stop &s, std::uint32_t stop_idx, Cycle now)
+{
+    // The ejection port mirrors the link: sliced links can sink
+    // several small packets per cycle, a conventional wide link
+    // delivers one packet per cycle per direction.
+    const std::uint32_t port_bytes =
+        params_.fixedBytesPerDir + params_.flexBytes;
+    for (std::uint32_t d = 0; d < 2; ++d) {
+        const std::uint32_t slice = params_.sliceBytes == 0
+            ? port_bytes
+            : std::min(params_.sliceBytes, port_bytes);
+        std::uint32_t remaining = port_bytes;
+        while (!s.through[d].empty() && remaining > 0) {
+            Transit &head = s.through[d].front();
+            if (head.dstStop != stop_idx)
+                break;
+            const std::uint32_t need =
+                quantise(std::max<std::uint32_t>(
+                             head.pkt.payloadBytes, 1), slice);
+            if (need > remaining && remaining != port_bytes)
+                break; // next cycle
+            remaining -= std::min(need, remaining);
+            Packet pkt = std::move(head.pkt);
+            const Cycle lat = now - pkt.created;
+            s.through[d].pop_front();
+            --inFlight_;
+            ++delivered_;
+            hopLatency_.sample(static_cast<double>(lat));
+            if (s.handler)
+                s.handler(std::move(pkt));
+            else if (pkt.onDeliver)
+                pkt.onDeliver();
+        }
+    }
+}
+
+void
+Ring::tick(Cycle now)
+{
+    ++cyclesTicked_;
+
+    std::uint64_t queued = 0;
+    for (auto &s : stops_)
+        for (std::uint32_t d = 0; d < 2; ++d)
+            queued += s.through[d].size() + s.inject[d].size();
+    occupancy_.sample(static_cast<double>(queued));
+    if (queued == 0)
+        return;
+
+    // Phase 1: ejection at every stop.
+    for (std::uint32_t i = 0; i < stops_.size(); ++i)
+        eject(stops_[i], i, now);
+
+    // Phase 2: link traversal. Arrivals are staged so a packet moves
+    // at most one hop per cycle.
+    const std::uint32_t n = params_.numStops;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Stop &s = stops_[i];
+        for (std::uint32_t d = 0; d < 2; ++d) {
+            const std::uint32_t next = d == 0 ? (i + 1) % n
+                                              : (i + n - 1) % n;
+            Stop &ns = stops_[next];
+            const std::uint32_t budget = dirBudget(s, d);
+            const std::uint32_t slice = params_.sliceBytes == 0
+                ? budget
+                : std::min(params_.sliceBytes, budget);
+            std::uint32_t remaining = budget;
+
+            // Greedy switch allocation: drain through-traffic first,
+            // then local injections, packing packets while slices
+            // remain (Section 3.3).
+            for (int source = 0; source < 2 && remaining > 0; ++source) {
+                auto &q = source == 0 ? s.through[d] : s.inject[d];
+                while (!q.empty() && remaining > 0) {
+                    if (ns.through[d].size() + ns.staged[d].size() >=
+                        params_.stopQueueCap)
+                        break; // backpressure: next stop is full
+                    Transit &head = q.front();
+                    if (source == 0 && head.dstStop == i)
+                        break; // waits for next cycle's eject phase
+                    const std::uint32_t need =
+                        quantise(head.remBytes, slice);
+                    const std::uint32_t grant =
+                        std::min(need, (remaining / slice) * slice);
+                    if (grant == 0)
+                        break;
+                    remaining -= grant;
+                    wireBytesUsed_ += static_cast<double>(grant);
+                    const std::uint32_t moved =
+                        std::min(head.remBytes, grant);
+                    bytesMoved_ += static_cast<double>(moved);
+                    head.remBytes -= moved;
+                    if (head.remBytes == 0) {
+                        // Fully across: restore wire size for the
+                        // next link and stage at the neighbour.
+                        Transit t = std::move(head);
+                        q.pop_front();
+                        t.remBytes = std::max<std::uint32_t>(
+                            t.pkt.payloadBytes, 1);
+                        ns.staged[d].push_back(std::move(t));
+                    } else {
+                        break; // partially sent; keeps the channel
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 3: merge staged arrivals.
+    for (auto &s : stops_) {
+        for (std::uint32_t d = 0; d < 2; ++d) {
+            for (auto &t : s.staged[d])
+                s.through[d].push_back(std::move(t));
+            s.staged[d].clear();
+        }
+    }
+}
+
+double
+Ring::utilisation(Cycle elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    const double capacity =
+        static_cast<double>(params_.numStops) *
+        (2.0 * params_.fixedBytesPerDir + params_.flexBytes) *
+        static_cast<double>(elapsed);
+    return capacity > 0.0 ? wireBytesUsed_.value() / capacity : 0.0;
+}
+
+} // namespace smarco::noc

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Bidirectional ring with high-density sliced links (Sections 3.2-3.3).
+ *
+ * Both the main ring and the sub-rings are built from this class.
+ * Each direction owns a number of fixed 64-bit datapaths plus a pool
+ * of bidirectional datapaths assigned per cycle to the more loaded
+ * direction. Links are sliced into self-governed narrow channels;
+ * the switch allocator greedily packs as many queued packets as fit
+ * into one cycle's slices (high-density NoC). Setting the slice size
+ * equal to the full direction width recovers a conventional wide
+ * link, where one small packet wastes the whole cycle.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "noc/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace smarco::noc {
+
+/** Configuration of one ring instance. */
+struct RingParams {
+    std::string name = "ring";
+    std::uint32_t numStops = 17;
+    /** Bytes per cycle of the fixed datapaths of ONE direction. */
+    std::uint32_t fixedBytesPerDir = 8;
+    /** Bytes per cycle of the shared bidirectional datapath pool. */
+    std::uint32_t flexBytes = 16;
+    /** Unit in which the flex pool is assigned (one datapath). */
+    std::uint32_t flexUnitBytes = 8;
+    /**
+     * High-density slice width in bytes. 0 means conventional mode:
+     * the whole per-direction width acts as a single channel.
+     */
+    std::uint32_t sliceBytes = 2;
+    /** Max packets a stop's through-queue holds per direction. */
+    std::uint32_t stopQueueCap = 16;
+    /** Max packets a stop's injection queue holds per direction. */
+    std::uint32_t injectQueueCap = 64;
+    /** Packets a stop may eject per direction per cycle. */
+    std::uint32_t ejectPerCycle = 2;
+};
+
+/**
+ * The ring. Stops are indexed 0..numStops-1; direction 0 moves from
+ * stop i to i+1 (mod N), direction 1 the other way. Packets are
+ * injected with a destination stop; delivery invokes the stop's
+ * handler. Direction is chosen at injection: shortest path, switched
+ * when the preferred side is congested (Fig. 7).
+ */
+class Ring : public Ticking
+{
+  public:
+    using Handler = std::function<void(Packet &&)>;
+
+    Ring(Simulator &sim, RingParams params,
+         const std::string &stat_prefix);
+
+    /** Install the ejection handler of a stop. */
+    void setHandler(std::uint32_t stop, Handler handler);
+
+    /**
+     * Inject a packet at src_stop destined for dst_stop.
+     * @return false when the injection queue is full (backpressure).
+     */
+    bool inject(std::uint32_t src_stop, std::uint32_t dst_stop,
+                Packet &&pkt);
+
+    void tick(Cycle now) override;
+    bool busy() const override { return inFlight_ > 0; }
+
+    /** Hop count from a to b along the given direction. */
+    std::uint32_t distance(std::uint32_t a, std::uint32_t b,
+                           std::uint32_t dir) const;
+
+    const RingParams &params() const { return params_; }
+    std::uint64_t packetsDelivered() const
+    { return static_cast<std::uint64_t>(delivered_.value()); }
+    double avgHopLatency() const { return hopLatency_.value(); }
+    /** Fraction of link capacity carrying payload so far. */
+    double utilisation(Cycle elapsed) const;
+    std::uint64_t inFlight() const { return inFlight_; }
+
+  private:
+    struct Transit {
+        Packet pkt;
+        std::uint32_t dstStop = 0;
+        std::uint32_t remBytes = 0;
+        Cycle enqueued = 0;
+    };
+
+    struct Stop {
+        std::deque<Transit> through[2];
+        std::deque<Transit> inject[2];
+        /** Arrivals staged during the current tick. */
+        std::vector<Transit> staged[2];
+        Handler handler;
+    };
+
+    /** Queued payload bytes wanting to leave stop s in direction d. */
+    std::uint64_t pendingBytes(const Stop &s, std::uint32_t d) const;
+    std::uint32_t dirBudget(const Stop &s, std::uint32_t d) const;
+    void eject(Stop &s, std::uint32_t stop_idx, Cycle now);
+    /** Slice-quantised wire bytes a payload consumes. */
+    std::uint32_t quantise(std::uint32_t bytes,
+                           std::uint32_t slice) const;
+
+    Simulator &sim_;
+    RingParams params_;
+    std::vector<Stop> stops_;
+    std::uint64_t inFlight_ = 0;
+
+    Scalar delivered_;
+    Scalar injected_;
+    Scalar injectRejects_;
+    Scalar bytesMoved_;
+    Scalar wireBytesUsed_;
+    Scalar cyclesTicked_;
+    Average hopLatency_;
+    Average occupancy_;
+};
+
+} // namespace smarco::noc

@@ -1,0 +1,131 @@
+#include "runtime/mapreduce.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace smarco::runtime {
+
+void
+Emitter::emit(std::string key, std::string value)
+{
+    pairs_.push_back(KeyValue{std::move(key), std::move(value)});
+}
+
+std::vector<std::string>
+sliceText(const std::string &input, std::uint64_t slice_bytes)
+{
+    std::vector<std::string> slices;
+    if (slice_bytes == 0)
+        fatal("sliceText: zero slice size");
+    std::size_t pos = 0;
+    while (pos < input.size()) {
+        std::size_t end = std::min(input.size(), pos + slice_bytes);
+        // Extend to the next whitespace so words are not split.
+        while (end < input.size() && input[end] != ' ' &&
+               input[end] != '\n')
+            ++end;
+        slices.push_back(input.substr(pos, end - pos));
+        pos = end;
+    }
+    if (slices.empty())
+        slices.push_back("");
+    return slices;
+}
+
+MapReduceJob::MapReduceJob(MapFn map, ReduceFn reduce, Config config)
+    : map_(std::move(map)),
+      reduce_(std::move(reduce)),
+      cfg_(config)
+{
+    if (!map_ || !reduce_)
+        fatal("MapReduceJob: missing map or reduce function");
+    if (!cfg_.profile)
+        fatal("MapReduceJob: config needs a workload profile");
+}
+
+std::map<std::string, std::string>
+MapReduceJob::run(chip::SmarcoChip &chip, const std::string &input)
+{
+    stats_ = JobStats{};
+    const Cycle start = chip.sim().now();
+
+    // ---- Map stage: one simulated task per input slice; the host
+    // executes the functional map on the same slice.
+    const auto slices = sliceText(input, cfg_.sliceBytes);
+    std::vector<Emitter> emitters(slices.size());
+    std::vector<workloads::TaskSpec> map_tasks;
+    map_tasks.reserve(slices.size());
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        map_(slices[i], emitters[i]);
+        workloads::TaskSpec t;
+        t.id = static_cast<TaskId>(i);
+        t.profile = cfg_.profile;
+        t.numOps = std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(
+                static_cast<double>(slices[i].size()) *
+                cfg_.mapOpsPerByte),
+            256);
+        t.inputBytes = slices[i].size();
+        t.seed = cfg_.seed * 7919 + i;
+        map_tasks.push_back(t);
+    }
+    stats_.mapTasks = map_tasks.size();
+    chip.submit(map_tasks);
+    chip.runUntilDone();
+    stats_.mapCycles = chip.sim().now() - start;
+
+    // ---- Shuffle: hash-partition emitted pairs among reducers.
+    std::uint32_t partitions = cfg_.reducePartitions;
+    if (partitions == 0)
+        partitions = chip.config().noc.numSubRings;
+    std::vector<std::map<std::string, std::vector<std::string>>>
+        buckets(partitions);
+    for (const auto &em : emitters) {
+        stats_.pairsEmitted += em.pairs().size();
+        for (const auto &kv : em.pairs()) {
+            std::uint64_t h = 1469598103934665603ULL;
+            for (char c : kv.key) {
+                h ^= static_cast<unsigned char>(c);
+                h *= 1099511628211ULL;
+            }
+            buckets[h % partitions][kv.key].push_back(kv.value);
+        }
+    }
+
+    // ---- Reduce stage: one simulated task per non-empty partition;
+    // the host executes the functional reduce.
+    const Cycle reduce_start = chip.sim().now();
+    std::map<std::string, std::string> result;
+    std::vector<workloads::TaskSpec> reduce_tasks;
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+        if (buckets[p].empty())
+            continue;
+        std::uint64_t pairs = 0;
+        for (auto &[key, values] : buckets[p]) {
+            result[key] = reduce_(key, values);
+            pairs += values.size();
+        }
+        workloads::TaskSpec t;
+        t.id = static_cast<TaskId>(1'000'000 + p);
+        t.profile = cfg_.profile;
+        t.numOps = std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(
+                static_cast<double>(pairs) * cfg_.reduceOpsPerPair),
+            256);
+        t.inputBytes = pairs * 16;
+        t.seed = cfg_.seed * 104729 + p;
+        reduce_tasks.push_back(t);
+    }
+    stats_.reduceTasks = reduce_tasks.size();
+    if (!reduce_tasks.empty()) {
+        chip.submit(reduce_tasks);
+        chip.runUntilDone();
+    }
+    stats_.reduceCycles = chip.sim().now() - reduce_start;
+    stats_.totalCycles = chip.sim().now() - start;
+    return result;
+}
+
+} // namespace smarco::runtime

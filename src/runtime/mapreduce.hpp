@@ -1,0 +1,105 @@
+/**
+ * @file
+ * MapReduce programming framework (Section 3.6, Fig. 15).
+ *
+ * The framework is functional + timed: map and reduce functions are
+ * real C++ callables executed on the host against real data, while
+ * simulated tasks of matching size run on the SmarCo chip so that
+ * stage timing, scheduling, DMA staging and NoC/memory traffic are
+ * all accounted. The master node is the host CPU; map tasks and
+ * reduce tasks become chip tasks on the sub-rings, mirroring the
+ * paper's Fig. 15 flow: slice input -> map on TCG cores (results in
+ * SPM) -> reduce sub-rings -> merge on the master.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chip/smarco_chip.hpp"
+#include "workloads/profile.hpp"
+#include "workloads/task.hpp"
+
+namespace smarco::runtime {
+
+/** Key/value pair emitted by map functions. */
+struct KeyValue {
+    std::string key;
+    std::string value;
+};
+
+/** Collector handed to map functions. */
+class Emitter
+{
+  public:
+    void emit(std::string key, std::string value);
+    const std::vector<KeyValue> &pairs() const { return pairs_; }
+
+  private:
+    std::vector<KeyValue> pairs_;
+};
+
+/** Timing/result summary of one MapReduce job. */
+struct JobStats {
+    Cycle mapCycles = 0;     ///< simulated cycles of the map stage
+    Cycle reduceCycles = 0;  ///< simulated cycles of the reduce stage
+    Cycle totalCycles = 0;
+    std::uint64_t mapTasks = 0;
+    std::uint64_t reduceTasks = 0;
+    std::uint64_t pairsEmitted = 0;
+};
+
+/**
+ * A MapReduce job. K/V are strings (Phoenix++-style generic layer);
+ * typed wrappers can sit on top.
+ */
+class MapReduceJob
+{
+  public:
+    /** map(slice, emitter): process one input slice. */
+    using MapFn = std::function<void(const std::string &, Emitter &)>;
+    /** reduce(key, values) -> final value for the key. */
+    using ReduceFn = std::function<std::string(
+        const std::string &, const std::vector<std::string> &)>;
+
+    struct Config {
+        /** Workload profile used to time the simulated tasks. */
+        const workloads::BenchProfile *profile = nullptr;
+        /** Bytes of input per map slice. */
+        std::uint64_t sliceBytes = 16 * 1024;
+        /** Number of reduce partitions (0 = one per sub-ring). */
+        std::uint32_t reducePartitions = 0;
+        /** Simulated micro-ops charged per input byte mapped. */
+        double mapOpsPerByte = 1.6;
+        /** Simulated micro-ops charged per pair reduced. */
+        double reduceOpsPerPair = 60.0;
+        std::uint64_t seed = 1;
+    };
+
+    MapReduceJob(MapFn map, ReduceFn reduce, Config config);
+
+    /**
+     * Execute the job on a chip: slices the input, runs the map stage
+     * as simulated tasks (executing the functional map host-side),
+     * shuffles by key hash, runs the reduce stage, and merges.
+     */
+    std::map<std::string, std::string>
+    run(chip::SmarcoChip &chip, const std::string &input);
+
+    const JobStats &stats() const { return stats_; }
+
+  private:
+    MapFn map_;
+    ReduceFn reduce_;
+    Config cfg_;
+    JobStats stats_;
+};
+
+/** Split text into slices of roughly slice_bytes at word boundaries. */
+std::vector<std::string> sliceText(const std::string &input,
+                                   std::uint64_t slice_bytes);
+
+} // namespace smarco::runtime

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * POSIX-flavoured threading facade (Section 3.6).
+ *
+ * The paper's basic programming model exposes pthread-like calls;
+ * here threadCreate() submits a task to the chip's schedulers and
+ * returns a handle, join() drives the simulator until the thread (and
+ * everything else in flight) completes. Host code observes completion
+ * through the handle.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chip/smarco_chip.hpp"
+#include "workloads/task.hpp"
+
+namespace smarco::runtime {
+
+/** Completion record of one simulated thread. */
+struct ThreadResult {
+    bool finished = false;
+    Cycle finishCycle = 0;
+    CoreId core = 0;
+};
+
+/** Handle returned by threadCreate (shared with the completion hook). */
+using ThreadHandle = std::shared_ptr<ThreadResult>;
+
+/**
+ * pthread-like layer over one SmarcoChip. Typical use:
+ *
+ *   ThreadApi api(chip);
+ *   auto h = api.threadCreate(task);   // pthread_create
+ *   api.joinAll();                     // pthread_join loop
+ */
+class ThreadApi
+{
+  public:
+    explicit ThreadApi(chip::SmarcoChip &chip);
+
+    /**
+     * Submit a task as a software thread; the laxity-aware schedulers
+     * place it on a TCG context (pthread_create).
+     */
+    ThreadHandle threadCreate(const workloads::TaskSpec &task);
+
+    /** Convenience: create one thread per task in the set. */
+    std::vector<ThreadHandle>
+    threadCreateAll(const std::vector<workloads::TaskSpec> &tasks);
+
+    /**
+     * Drive the simulation until every created thread has exited
+     * (pthread_join over all handles).
+     * @return the cycle at which the last thread exited.
+     */
+    Cycle joinAll(Cycle max_cycles = 100'000'000);
+
+    std::uint64_t created() const { return created_; }
+    std::uint64_t finished() const;
+
+  private:
+    chip::SmarcoChip &chip_;
+    std::vector<ThreadHandle> handles_;
+    std::uint64_t created_ = 0;
+};
+
+} // namespace smarco::runtime

@@ -1,0 +1,114 @@
+#include "sched/chain_table.hpp"
+
+#include <limits>
+
+#include "sim/logging.hpp"
+
+namespace smarco::sched {
+
+double
+taskLaxity(const workloads::TaskSpec &task, Cycle now)
+{
+    if (!task.hasDeadline())
+        return std::numeric_limits<double>::infinity();
+    const double time_left = task.deadline > now
+        ? static_cast<double>(task.deadline - now)
+        : 0.0;
+    return time_left - static_cast<double>(task.numOps);
+}
+
+TaskChainTable::TaskChainTable(std::uint32_t capacity)
+    : ram_(capacity)
+{
+    if (capacity == 0)
+        fatal("TaskChainTable: zero capacity");
+    // Thread every entry onto the null (free) chain.
+    for (std::uint32_t i = 0; i + 1 < capacity; ++i)
+        ram_[i].next = static_cast<std::int32_t>(i + 1);
+    ram_[capacity - 1].next = kNil;
+    freeHead_ = 0;
+}
+
+bool
+TaskChainTable::insert(const workloads::TaskSpec &task)
+{
+    if (freeHead_ == kNil)
+        return false;
+    const std::int32_t idx = freeHead_;
+    freeHead_ = ram_[idx].next;
+    ram_[idx].task = task;
+    ram_[idx].next = kNil;
+
+    std::int32_t *head = task.realtime ? &highHead_ : &normalHead_;
+    std::int32_t *tail = task.realtime ? &highTail_ : &normalTail_;
+    if (*tail == kNil) {
+        *head = idx;
+        *tail = idx;
+    } else {
+        ram_[*tail].next = idx;
+        *tail = idx;
+    }
+    ++used_;
+    if (task.realtime)
+        ++highCount_;
+    return true;
+}
+
+workloads::TaskSpec
+TaskChainTable::detach(std::int32_t *head, std::int32_t *tail,
+                       std::int32_t prev)
+{
+    const std::int32_t idx = prev == kNil ? *head : ram_[prev].next;
+    if (idx == kNil)
+        panic("TaskChainTable::detach on empty chain");
+    const std::int32_t nxt = ram_[idx].next;
+    if (prev == kNil)
+        *head = nxt;
+    else
+        ram_[prev].next = nxt;
+    if (*tail == idx)
+        *tail = prev;
+
+    workloads::TaskSpec task = ram_[idx].task;
+    ram_[idx].next = freeHead_;
+    freeHead_ = idx;
+    --used_;
+    return task;
+}
+
+std::optional<workloads::TaskSpec>
+TaskChainTable::popFrom(std::int32_t *head, std::int32_t *tail,
+                        Cycle now, bool laxity_aware)
+{
+    if (*head == kNil)
+        return std::nullopt;
+    if (!laxity_aware)
+        return detach(head, tail, kNil);
+
+    // Walk the chain for the least-laxity entry (what the RAM-based
+    // hardware does sequentially).
+    std::int32_t prev = kNil, best_prev = kNil;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::int32_t i = *head; i != kNil; i = ram_[i].next) {
+        const double l = taskLaxity(ram_[i].task, now);
+        if (l < best) {
+            best = l;
+            best_prev = prev;
+        }
+        prev = i;
+    }
+    return detach(head, tail, best_prev);
+}
+
+std::optional<workloads::TaskSpec>
+TaskChainTable::popNext(Cycle now, bool laxity_aware)
+{
+    auto task = popFrom(&highHead_, &highTail_, now, laxity_aware);
+    if (task) {
+        --highCount_;
+        return task;
+    }
+    return popFrom(&normalHead_, &normalTail_, now, laxity_aware);
+}
+
+} // namespace smarco::sched

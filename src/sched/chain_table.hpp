@@ -1,0 +1,82 @@
+/**
+ * @file
+ * RAM-based task chain tables (Section 3.7, Fig. 16).
+ *
+ * The hardware sub-ring scheduler keeps three chain tables: a null
+ * chain of free entries, a normal chain, and a high-priority chain.
+ * Entries live in a RAM array linked by next-indices (the paper uses
+ * RAM instead of CAM to save area/power); insertion appends to the
+ * tail of the class chain, and the pop operation walks the chain to
+ * find the least-laxity task.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include <vector>
+
+#include "sim/types.hpp"
+#include "workloads/task.hpp"
+
+namespace smarco::sched {
+
+/**
+ * Laxity of a not-yet-started task at cycle now: time to deadline
+ * minus a remaining-execution estimate of one op per cycle. Tasks
+ * without deadlines report +infinity-like laxity (always last).
+ */
+double taskLaxity(const workloads::TaskSpec &task, Cycle now);
+
+/** The three-chain task table. */
+class TaskChainTable
+{
+  public:
+    explicit TaskChainTable(std::uint32_t capacity = 512);
+
+    /**
+     * Append a task to its class chain (high when realtime).
+     * @return false when no free (null-chain) entry remains.
+     */
+    bool insert(const workloads::TaskSpec &task);
+
+    /**
+     * Remove and return the next task to dispatch: the least-laxity
+     * entry of the high-priority chain, else (by laxity_aware) the
+     * least-laxity or FIFO-head entry of the normal chain.
+     */
+    std::optional<workloads::TaskSpec> popNext(Cycle now,
+                                               bool laxity_aware);
+
+    std::uint32_t size() const { return used_; }
+    bool empty() const { return used_ == 0; }
+    std::uint32_t capacity() const
+    { return static_cast<std::uint32_t>(ram_.size()); }
+    std::uint32_t highCount() const { return highCount_; }
+
+  private:
+    static constexpr std::int32_t kNil = -1;
+
+    struct Entry {
+        workloads::TaskSpec task;
+        std::int32_t next = kNil;
+    };
+
+    /** Detach the entry after prev (or the head) from a chain. */
+    workloads::TaskSpec detach(std::int32_t *head, std::int32_t *tail,
+                               std::int32_t prev);
+    std::optional<workloads::TaskSpec> popFrom(std::int32_t *head,
+                                               std::int32_t *tail,
+                                               Cycle now,
+                                               bool laxity_aware);
+
+    std::vector<Entry> ram_;
+    std::int32_t freeHead_ = kNil;          // null thread chain
+    std::int32_t normalHead_ = kNil, normalTail_ = kNil;
+    std::int32_t highHead_ = kNil, highTail_ = kNil;
+    std::uint32_t used_ = 0;
+    std::uint32_t highCount_ = 0;
+};
+
+} // namespace smarco::sched

@@ -1,0 +1,83 @@
+#include "sched/main_scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace smarco::sched {
+
+MainScheduler::MainScheduler(Simulator &sim, MainSchedulerParams params,
+                             const std::string &stat_prefix)
+    : sim_(sim),
+      params_(params),
+      routed_(sim.stats(), stat_prefix + ".routed",
+              "tasks routed to sub-rings")
+{
+}
+
+void
+MainScheduler::addSubScheduler(SubScheduler *sub)
+{
+    if (!sub)
+        panic("MainScheduler: null sub-scheduler");
+    subs_.push_back(sub);
+}
+
+void
+MainScheduler::setTransport(Transport transport)
+{
+    transport_ = std::move(transport);
+}
+
+std::uint32_t
+MainScheduler::leastLoaded() const
+{
+    std::uint32_t best = 0;
+    std::uint64_t best_load = ~std::uint64_t{0};
+    for (std::uint32_t i = 0; i < subs_.size(); ++i) {
+        const std::uint64_t l = subs_[i]->load();
+        if (l < best_load) {
+            best_load = l;
+            best = i;
+        }
+    }
+    return best;
+}
+
+void
+MainScheduler::route(const workloads::TaskSpec &task)
+{
+    if (subs_.empty())
+        fatal("MainScheduler: no sub-schedulers registered");
+    const std::uint32_t target = leastLoaded();
+    ++routed_;
+    if (transport_)
+        transport_(target, task);
+    else
+        subs_[target]->submit(task);
+}
+
+void
+MainScheduler::submit(const workloads::TaskSpec &task)
+{
+    // Serialise decisions through the scheduler's own latency.
+    const Cycle ready =
+        std::max(std::max(task.release, sim_.now()), nextFree_);
+    nextFree_ = ready + params_.decisionLatency;
+    if (ready <= sim_.now()) {
+        route(task);
+        return;
+    }
+    auto t = task;
+    sim_.events().schedule(ready, [this, t]() { route(t); });
+}
+
+void
+MainScheduler::submitAll(const std::vector<workloads::TaskSpec> &tasks)
+{
+    for (const auto &t : tasks)
+        submit(t);
+}
+
+} // namespace smarco::sched

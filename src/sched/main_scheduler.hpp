@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Main-ring scheduler (Section 3.7).
+ *
+ * The main scheduler receives task sets from the host CPU over PCIe
+ * and spreads them across sub-ring schedulers to keep the whole chip
+ * load-balanced. Task hand-off to a sub-ring travels as a control
+ * packet when a transport is installed (so dispatch traffic shows up
+ * in the NoC), or is delivered directly in stand-alone tests.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/sub_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "workloads/task.hpp"
+
+namespace smarco::sched {
+
+/** Configuration of the main scheduler. */
+struct MainSchedulerParams {
+    /** Decision latency per task routed (cycles). */
+    Cycle decisionLatency = 2;
+};
+
+/** Main scheduler: host-facing task distribution. */
+class MainScheduler
+{
+  public:
+    /** Deliver a task to sub-ring target (e.g. via a NoC packet). */
+    using Transport = std::function<void(std::uint32_t sub_ring,
+                                         const workloads::TaskSpec &)>;
+
+    MainScheduler(Simulator &sim, MainSchedulerParams params,
+                  const std::string &stat_prefix);
+
+    /** Register sub-ring schedulers, in sub-ring order. */
+    void addSubScheduler(SubScheduler *sub);
+
+    /** Route hand-off through the NoC instead of direct delivery. */
+    void setTransport(Transport transport);
+
+    /**
+     * Submit a batch of tasks. Tasks with a future release are held
+     * until their release cycle; routing then picks the least-loaded
+     * sub-ring at that moment.
+     */
+    void submitAll(const std::vector<workloads::TaskSpec> &tasks);
+
+    /** Submit one task at its release cycle. */
+    void submit(const workloads::TaskSpec &task);
+
+    std::uint64_t tasksRouted() const
+    { return static_cast<std::uint64_t>(routed_.value()); }
+
+  private:
+    void route(const workloads::TaskSpec &task);
+    std::uint32_t leastLoaded() const;
+
+    Simulator &sim_;
+    MainSchedulerParams params_;
+    std::vector<SubScheduler *> subs_;
+    Transport transport_;
+    Cycle nextFree_ = 0;
+
+    Scalar routed_;
+};
+
+} // namespace smarco::sched

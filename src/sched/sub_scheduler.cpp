@@ -1,0 +1,193 @@
+#include "sched/sub_scheduler.hpp"
+
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace smarco::sched {
+
+SubScheduler::SubScheduler(Simulator &sim, SubSchedulerParams params,
+                           std::uint32_t sub_ring_id,
+                           const std::string &stat_prefix)
+    : sim_(sim),
+      params_(params),
+      id_(sub_ring_id),
+      table_(params.chainCapacity),
+      submitted_(sim.stats(), stat_prefix + ".submitted",
+                 "tasks submitted to this sub-scheduler"),
+      dispatched_(sim.stats(), stat_prefix + ".dispatched",
+                  "tasks dispatched to cores"),
+      misses_(sim.stats(), stat_prefix + ".deadlineMisses",
+              "tasks finishing past their deadline"),
+      queueDelay_(sim.stats(), stat_prefix + ".queueDelay",
+                  "mean cycles from release to dispatch")
+{
+    sim.addTicking(this);
+}
+
+void
+SubScheduler::addCore(core::TcgCore *core)
+{
+    if (!core)
+        panic("SubScheduler %u: null core", id_);
+    cores_.push_back(core);
+    reserved_.push_back(0);
+}
+
+void
+SubScheduler::setStreamFactory(StreamFactory factory)
+{
+    makeStream_ = std::move(factory);
+}
+
+void
+SubScheduler::setStageFn(StageFn stage)
+{
+    stage_ = std::move(stage);
+}
+
+void
+SubScheduler::submit(const workloads::TaskSpec &task)
+{
+    ++submitted_;
+    if (!table_.insert(task))
+        fatal("sub-scheduler %u: chain table overflow (capacity %u)",
+              id_, table_.capacity());
+}
+
+std::int32_t
+SubScheduler::pickCore() const
+{
+    std::int32_t best = -1;
+    std::uint32_t best_free = 0;
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        const std::uint32_t f = cores_[i]->freeContexts();
+        const std::uint32_t eff =
+            f > reserved_[i] ? f - reserved_[i] : 0;
+        if (eff > best_free) {
+            best_free = eff;
+            best = static_cast<std::int32_t>(i);
+        }
+    }
+    return best;
+}
+
+void
+SubScheduler::dispatchOne(const workloads::TaskSpec &task, Cycle now)
+{
+    const std::int32_t slot = pickCore();
+    if (slot < 0) {
+        // Placement raced with another dispatch: requeue.
+        if (!table_.insert(task))
+            fatal("sub-scheduler %u: requeue overflow", id_);
+        return;
+    }
+    core::TcgCore *core = cores_[slot];
+    ++reserved_[slot];
+    ++dispatched_;
+    queueDelay_.sample(static_cast<double>(now - task.release));
+    ++inFlight_;
+
+    const CoreId core_id = core->id();
+    auto attach = [this, task, core, slot]() {
+        --reserved_[slot];
+        isa::StreamPtr stream = makeStream_
+            ? makeStream_(task, core->id())
+            : nullptr;
+        if (!stream)
+            panic("sub-scheduler %u: no stream factory", id_);
+        const bool ok = core->attachTask(task, std::move(stream),
+            [this, core](const workloads::TaskSpec &t, Cycle finish) {
+                TaskExit exit;
+                exit.taskId = t.id;
+                exit.core = core->id();
+                exit.finish = finish;
+                exit.deadline = t.deadline;
+                exit.metDeadline =
+                    !t.hasDeadline() || finish <= t.deadline;
+                if (!exit.metDeadline)
+                    ++misses_;
+                exits_.push_back(exit);
+                --inFlight_;
+                if (exitCb_)
+                    exitCb_(exit, t);
+            });
+        if (!ok) {
+            // Context taken between staging and attach: requeue.
+            --inFlight_;
+            if (!table_.insert(task))
+                fatal("sub-scheduler %u: requeue overflow", id_);
+        }
+    };
+
+    if (stage_)
+        stage_(core_id, task, std::move(attach));
+    else
+        attach();
+}
+
+void
+SubScheduler::tick(Cycle now)
+{
+    if (params_.policy == SchedPolicy::HardwareLaxity) {
+        if (table_.empty() || now < nextDecision_)
+            return;
+        if (pickCore() < 0)
+            return;
+        auto task = table_.popNext(now, /*laxity_aware=*/true);
+        if (!task)
+            return;
+        if (task->release > now) {
+            // Not yet released; put it back and wait.
+            table_.insert(*task);
+            return;
+        }
+        nextDecision_ = now + params_.hwDecisionLatency;
+        dispatchOne(*task, now);
+        return;
+    }
+
+    // SoftwareDeadline: act only at quantum boundaries, with a
+    // serial per-dispatch software cost.
+    if (now < nextQuantum_)
+        return;
+    nextQuantum_ = now + params_.swQuantum;
+
+    std::uint32_t free_slots = 0;
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        const std::uint32_t f = cores_[i]->freeContexts();
+        free_slots += f > reserved_[i] ? f - reserved_[i] : 0;
+    }
+
+    Cycle overhead = params_.swDispatchOverhead;
+    std::uint32_t k = 0;
+    while (k < free_slots && !table_.empty()) {
+        auto task = table_.popNext(now, /*laxity_aware=*/true);
+        if (!task)
+            break;
+        if (task->release > now) {
+            table_.insert(*task);
+            break;
+        }
+        ++k;
+        const Cycle when = now + overhead * k;
+        auto t = *task;
+        sim_.events().schedule(when, [this, t, when]() {
+            dispatchOne(t, when);
+        });
+    }
+}
+
+bool
+SubScheduler::busy() const
+{
+    return !table_.empty() || inFlight_ > 0;
+}
+
+std::uint64_t
+SubScheduler::load() const
+{
+    return table_.size() + inFlight_;
+}
+
+} // namespace smarco::sched

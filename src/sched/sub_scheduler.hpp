@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Sub-ring task scheduler (Section 3.7).
+ *
+ * One scheduler per sub-ring dispatches queued tasks onto the free
+ * thread contexts of its 16 TCG cores. Two policies are modelled:
+ *
+ *  - HardwareLaxity: the paper's laxity-aware hardware scheduler.
+ *    Chain-table pop picks the least-laxity task, a dispatch decision
+ *    takes a few cycles, and cores issue with laxity-aware slot
+ *    arbitration.
+ *  - SoftwareDeadline: the Deadline Scheduler baseline of Fig. 21.
+ *    Scheduling happens in software at quantum boundaries using the
+ *    remaining time snapshot, and every dispatch pays a software
+ *    overhead, so placement is stale and serialised.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/tcg_core.hpp"
+#include "sched/chain_table.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "workloads/task.hpp"
+
+namespace smarco::sched {
+
+/** Scheduling policy of a sub-scheduler. */
+enum class SchedPolicy { HardwareLaxity, SoftwareDeadline };
+
+/** Configuration of one sub-ring scheduler. */
+struct SubSchedulerParams {
+    SchedPolicy policy = SchedPolicy::HardwareLaxity;
+    /** Decision latency of the hardware scheduler (cycles). */
+    Cycle hwDecisionLatency = 4;
+    /** Software scheduler wakes up once per quantum. */
+    Cycle swQuantum = 2000;
+    /** Serial software cost per dispatched task. */
+    Cycle swDispatchOverhead = 120;
+    std::uint32_t chainCapacity = 512;
+};
+
+/** Record of one completed task (Fig. 21 raw data). */
+struct TaskExit {
+    TaskId taskId = 0;
+    CoreId core = 0;
+    Cycle finish = 0;
+    Cycle deadline = kNoCycle;
+    bool metDeadline = true;
+};
+
+/**
+ * The sub-ring scheduler. The chip wires a stream factory (building
+ * the task's micro-op stream with the core's address layout) and a
+ * staging function (SPM DMA prefetch) before use.
+ */
+class SubScheduler : public Ticking
+{
+  public:
+    /** Build the instruction stream of a task placed on a core. */
+    using StreamFactory = std::function<isa::StreamPtr(
+        const workloads::TaskSpec &, CoreId)>;
+    /** Stage task input into the core's SPM; call done when ready. */
+    using StageFn = std::function<void(
+        CoreId, const workloads::TaskSpec &, std::function<void()>)>;
+
+    SubScheduler(Simulator &sim, SubSchedulerParams params,
+                 std::uint32_t sub_ring_id,
+                 const std::string &stat_prefix);
+
+    /** Register a core of this sub-ring (in ring order). */
+    void addCore(core::TcgCore *core);
+
+    void setStreamFactory(StreamFactory factory);
+    void setStageFn(StageFn stage);
+
+    /** Observer invoked on every task completion (after recording). */
+    using ExitCallback =
+        std::function<void(const TaskExit &, const workloads::TaskSpec &)>;
+    void setExitCallback(ExitCallback cb) { exitCb_ = std::move(cb); }
+
+    /** Enqueue a task for dispatch (from the main scheduler). */
+    void submit(const workloads::TaskSpec &task);
+
+    void tick(Cycle now) override;
+    bool busy() const override;
+
+    /** Queued + staged-but-unfinished tasks (load metric). */
+    std::uint64_t load() const;
+    std::uint64_t pendingTasks() const { return table_.size(); }
+    std::uint64_t tasksCompleted() const { return exits_.size(); }
+    std::uint64_t deadlineMisses() const
+    { return static_cast<std::uint64_t>(misses_.value()); }
+
+    const std::vector<TaskExit> &exits() const { return exits_; }
+
+  private:
+    void dispatchOne(const workloads::TaskSpec &task, Cycle now);
+    /** Core with the most unreserved free contexts; -1 when none. */
+    std::int32_t pickCore() const;
+
+    Simulator &sim_;
+    SubSchedulerParams params_;
+    std::uint32_t id_;
+    std::vector<core::TcgCore *> cores_;
+    /** Contexts promised to staged-but-unattached tasks, per core. */
+    std::vector<std::uint32_t> reserved_;
+    TaskChainTable table_;
+    StreamFactory makeStream_;
+    StageFn stage_;
+    ExitCallback exitCb_;
+    Cycle nextDecision_ = 0;
+    Cycle nextQuantum_ = 0;
+    std::uint64_t inFlight_ = 0; ///< staged/running, not yet finished
+    std::vector<TaskExit> exits_;
+
+    Scalar submitted_;
+    Scalar dispatched_;
+    Scalar misses_;
+    Average queueDelay_;
+};
+
+} // namespace smarco::sched

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Discrete-event queue for one-shot timed callbacks.
+ *
+ * The SmarCo simulator is primarily cycle-driven (see Simulator), but
+ * components use the event queue for sparse, latency-shaped actions:
+ * memory response arrival, MACT deadline expiry, DMA completion.
+ * Events scheduled for the same cycle fire in scheduling order, which
+ * keeps runs bit-reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace smarco {
+
+/** Callback invoked when its scheduled cycle is reached. */
+using EventFn = std::function<void()>;
+
+/**
+ * Min-heap of timed callbacks ordered by (cycle, insertion sequence).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Schedule fn to run at absolute cycle when (>= current head). */
+    void schedule(Cycle when, EventFn fn);
+
+    /** Schedule fn to run delay cycles after now. */
+    void scheduleAfter(Cycle now, Cycle delay, EventFn fn);
+
+    /** Cycle of the earliest pending event, or kNoCycle if empty. */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Fire every event with cycle <= now, in deterministic order.
+     * Events scheduled during processing for cycles <= now also fire.
+     * @return number of events fired.
+     */
+    std::size_t runUntil(Cycle now);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+  private:
+    struct Entry {
+        Cycle when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace smarco

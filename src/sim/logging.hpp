@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Status and error reporting helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user/configuration errors and exits with a
+ * non-zero status; warn()/inform() never stop the simulation.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace smarco {
+
+/** Verbosity knob for inform(); warnings are always printed. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Set the global logging verbosity. */
+void setLogLevel(LogLevel level);
+
+/** Current global logging verbosity. */
+LogLevel logLevel();
+
+/**
+ * Abort with a message. Call when an internal invariant is violated,
+ * i.e. when the simulator itself is broken.
+ */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/**
+ * Exit with an error message. Call when the simulation cannot continue
+ * because of a user error (bad configuration, invalid arguments).
+ */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print a warning about questionable-but-survivable behaviour. */
+void warn(const char *fmt, ...);
+
+/** Print an informative status message (suppressed when Quiet). */
+void inform(const char *fmt, ...);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...);
+
+namespace detail {
+std::string vstrprintf(const char *fmt, std::va_list args);
+} // namespace detail
+
+} // namespace smarco

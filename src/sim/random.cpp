@@ -1,0 +1,170 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace smarco {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+{
+    // Mix the stream id in so distinct components get distinct
+    // sequences even with the same experiment seed.
+    std::uint64_t sm = seed ^ (stream * 0xd1342543de82ef95ULL + 1);
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBelow called with bound 0");
+    // Lemire's multiply-shift with rejection for exact uniformity.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextRange: lo %lld > hi %lld",
+              static_cast<long long>(lo), static_cast<long long>(hi));
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double mean, std::uint64_t cap)
+{
+    if (mean <= 0.0)
+        return 0;
+    const double p = 1.0 / (mean + 1.0);
+    const double u = std::max(nextDouble(), 1e-300);
+    const double v = std::log(u) / std::log(1.0 - p);
+    const auto draw = static_cast<std::uint64_t>(v);
+    return std::min(draw, cap);
+}
+
+DiscreteDist::DiscreteDist(std::vector<double> weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            panic("DiscreteDist: negative weight %f", w);
+        total += w;
+    }
+    if (total <= 0.0)
+        panic("DiscreteDist: weights sum to zero");
+    cdf_.reserve(weights.size());
+    double acc = 0.0;
+    for (double w : weights) {
+        acc += w / total;
+        cdf_.push_back(acc);
+    }
+    cdf_.back() = 1.0; // guard against fp drift
+}
+
+std::size_t
+DiscreteDist::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double
+DiscreteDist::probability(std::size_t i) const
+{
+    if (i >= cdf_.size())
+        panic("DiscreteDist::probability: index out of range");
+    return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+ZipfDist::ZipfDist(std::size_t n, double s)
+{
+    if (n == 0)
+        panic("ZipfDist: empty support");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = acc;
+    }
+    for (auto &c : cdf_)
+        c /= acc;
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+ZipfDist::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+} // namespace smarco

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * Every stochastic component owns its own Rng seeded from the
+ * experiment seed plus a component-unique stream id, so adding or
+ * removing components never perturbs the random streams of others.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace smarco {
+
+/**
+ * xoshiro256** generator with splitmix64 seeding. Small, fast, and
+ * reproducible across platforms (unlike std::mt19937 + std::
+ * distributions, whose outputs are implementation-defined).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; stream distinguishes instances. */
+    explicit Rng(std::uint64_t seed = 0x5eed, std::uint64_t stream = 0);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire rejection. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Geometric-ish bounded draw: mean roughly m, capped at cap. */
+    std::uint64_t nextGeometric(double mean, std::uint64_t cap);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Discrete distribution over arbitrary weights, sampled by inverse
+ * CDF lookup. Used for per-benchmark access-granularity histograms.
+ */
+class DiscreteDist
+{
+  public:
+    DiscreteDist() = default;
+
+    /** Build from (unnormalised) weights; weights must be >= 0. */
+    explicit DiscreteDist(std::vector<double> weights);
+
+    /** Sample an index according to the weights. */
+    std::size_t sample(Rng &rng) const;
+
+    /** Number of categories. */
+    std::size_t size() const { return cdf_.size(); }
+
+    /** Probability of category i (normalised). */
+    double probability(std::size_t i) const;
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/**
+ * Zipf distribution over [0, n) with exponent s. Models the skewed
+ * popularity of keys/pages in HTC workloads (web objects, words).
+ * Sampling is by binary search over a precomputed CDF.
+ */
+class ZipfDist
+{
+  public:
+    ZipfDist() = default;
+
+    /** Build a Zipf(n, s) distribution; n > 0, s >= 0. */
+    ZipfDist(std::size_t n, double s);
+
+    /** Sample a rank in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace smarco

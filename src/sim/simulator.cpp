@@ -1,0 +1,52 @@
+#include "sim/simulator.hpp"
+
+#include "sim/logging.hpp"
+
+namespace smarco {
+
+void
+Simulator::addTicking(Ticking *component)
+{
+    if (!component)
+        panic("Simulator::addTicking: null component");
+    ticking_.push_back(component);
+}
+
+Cycle
+Simulator::run(Cycle max_cycles)
+{
+    stopRequested_ = false;
+    finishedIdle_ = false;
+    const Cycle end = now_ + max_cycles;
+
+    while (now_ < end && !stopRequested_) {
+        events_.runUntil(now_);
+        for (Ticking *t : ticking_)
+            t->tick(now_);
+
+        // Idle detection: when nothing is in flight, fast-forward to
+        // the next event or finish.
+        bool any_busy = false;
+        for (Ticking *t : ticking_) {
+            if (t->busy()) {
+                any_busy = true;
+                break;
+            }
+        }
+        if (!any_busy) {
+            const Cycle next = events_.nextEventCycle();
+            if (next == kNoCycle) {
+                ++now_;
+                finishedIdle_ = true;
+                break;
+            }
+            // Jump the clock to just before the next event fires.
+            now_ = next > now_ + 1 ? next : now_ + 1;
+            continue;
+        }
+        ++now_;
+    }
+    return now_;
+}
+
+} // namespace smarco

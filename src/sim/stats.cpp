@@ -1,0 +1,153 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace smarco {
+
+Stat::Stat(StatRegistry &registry, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    registry.add(this);
+}
+
+void
+Stat::print(std::ostream &os) const
+{
+    os << name_ << " = " << value();
+    if (!desc_.empty())
+        os << "   # " << desc_;
+    os << '\n';
+}
+
+Histogram::Histogram(StatRegistry &registry, std::string name,
+                     std::string desc, double lo, double hi,
+                     std::size_t buckets)
+    : Stat(registry, std::move(name), std::move(desc)),
+      lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      buckets_(buckets, 0)
+{
+    if (hi <= lo || buckets == 0)
+        panic("Histogram %s: bad range [%f, %f) x %zu",
+              this->name().c_str(), lo, hi, buckets);
+}
+
+void
+Histogram::sample(double v, std::uint64_t weight)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_ += weight;
+    sum_ += v * static_cast<double>(weight);
+    sumSq_ += v * v * static_cast<double>(weight);
+
+    double idx_f = (v - lo_) / width_;
+    auto idx = idx_f <= 0.0
+        ? std::size_t{0}
+        : std::min(static_cast<std::size_t>(idx_f), buckets_.size() - 1);
+    buckets_[idx] += weight;
+}
+
+double
+Histogram::value() const
+{
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double var = (sumSq_ - sum_ * sum_ / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << name() << " mean=" << value() << " stddev=" << stddev()
+       << " min=" << min_ << " max=" << max_ << " n=" << count_;
+    if (!description().empty())
+        os << "   # " << description();
+    os << '\n';
+}
+
+void
+StatRegistry::add(Stat *stat)
+{
+    auto [it, inserted] = stats_.emplace(stat->name(), stat);
+    (void)it;
+    if (!inserted)
+        panic("duplicate stat name '%s'", stat->name().c_str());
+}
+
+Stat *
+StatRegistry::find(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? nullptr : it->second;
+}
+
+Stat &
+StatRegistry::get(const std::string &name) const
+{
+    Stat *s = find(name);
+    if (!s)
+        panic("stat '%s' not registered", name.c_str());
+    return *s;
+}
+
+std::vector<Stat *>
+StatRegistry::findPrefix(const std::string &prefix) const
+{
+    std::vector<Stat *> out;
+    for (auto it = stats_.lower_bound(prefix); it != stats_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        out.push_back(it->second);
+    }
+    return out;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, stat] : stats_)
+        stat->reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (auto &[name, stat] : stats_)
+        stat->print(os);
+}
+
+} // namespace smarco

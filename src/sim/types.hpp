@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the SmarCo simulator.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace smarco {
+
+/** Simulated cycle count. The whole chip is modelled in core cycles. */
+using Cycle = std::uint64_t;
+
+/** Physical (simulated) byte address in the unified address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a hardware core within the chip (0..numCores-1). */
+using CoreId = std::uint32_t;
+
+/** Identifier of a hardware thread context within a core. */
+using ThreadId = std::uint32_t;
+
+/** Globally unique identifier of a software task. */
+using TaskId = std::uint64_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/** Sentinel for invalid addresses. */
+inline constexpr Addr kNoAddr = ~Addr{0};
+
+} // namespace smarco

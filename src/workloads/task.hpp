@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Software task model: the unit of work the schedulers dispatch onto
+ * hardware thread contexts.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "workloads/profile.hpp"
+
+namespace smarco::workloads {
+
+/**
+ * One schedulable task: a bounded instruction stream drawn from a
+ * benchmark profile, optionally with a hard deadline (RNC-style).
+ */
+struct TaskSpec {
+    TaskId id = 0;
+    const BenchProfile *profile = nullptr;
+    /** Micro-ops the task executes before completing. */
+    std::uint64_t numOps = 0;
+    /** Bytes staged into SPM before the task starts (DMA). */
+    std::uint64_t inputBytes = 0;
+    /** Cycle at which the task becomes available for dispatch. */
+    Cycle release = 0;
+    /** Absolute deadline; kNoCycle when the task is best-effort. */
+    Cycle deadline = kNoCycle;
+    /** Superior real-time priority (uses MACT bypass / direct path). */
+    bool realtime = false;
+    /** Per-task RNG seed so task bodies are independent streams. */
+    std::uint64_t seed = 0;
+    /** Internal completion-hook key (0 = none); set by the runtime. */
+    std::uint64_t hookId = 0;
+
+    bool hasDeadline() const { return deadline != kNoCycle; }
+};
+
+/** Knobs for makeTaskSet. */
+struct TaskSetParams {
+    std::uint64_t count = 256;
+    /** +/- fractional jitter applied to the profile's opsPerTask. */
+    double opsJitter = 0.15;
+    Cycle deadline = kNoCycle;
+    bool realtime = false;
+    /** Release spread: tasks release uniformly in [0, releaseSpan]. */
+    Cycle releaseSpan = 0;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Build a homogeneous task set from one benchmark profile, with
+ * deterministic per-task length jitter and release times.
+ */
+std::vector<TaskSpec> makeTaskSet(const BenchProfile &profile,
+                                  const TaskSetParams &params);
+
+} // namespace smarco::workloads

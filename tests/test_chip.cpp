@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Integration tests of the assembled SmarCo chip: configs, the memory
+ * request paths (SPM remote, heap fills, stream + MACT, direct path),
+ * DMA staging, and metrics.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/logging.hpp"
+#include "chip/chip_config.hpp"
+#include "chip/smarco_chip.hpp"
+#include "workloads/profile.hpp"
+#include "workloads/profile_stream.hpp"
+#include "workloads/task.hpp"
+
+using namespace smarco;
+using namespace smarco::chip;
+
+TEST(ChipConfig, PresetsValidate)
+{
+    EXPECT_EQ(ChipConfig::simulated256().numCores(), 256u);
+    EXPECT_EQ(ChipConfig::simulated256().numThreadsTotal(), 2048u);
+    EXPECT_EQ(ChipConfig::prototype40nm().numThreadsTotal(), 256u);
+    EXPECT_EQ(ChipConfig::fpga256().numCores(), 256u);
+    EXPECT_EQ(ChipConfig::scaled(2, 4).numCores(), 8u);
+}
+
+TEST(ChipConfig, Fpga256PresetInstantiates)
+{
+    // The FPGA verification platform preset: same 256-core topology
+    // at an emulation clock. A tiny run must work end to end.
+    Simulator sim;
+    chip::SmarcoChip chip(sim, ChipConfig::fpga256());
+    workloads::TaskSpec t;
+    t.id = 1;
+    t.profile = &workloads::htcProfile("kmp");
+    t.numOps = 2000;
+    t.seed = 9;
+    chip.submitTo(0, t);
+    chip.runUntilDone(10'000'000);
+    EXPECT_EQ(chip.metrics().tasksCompleted, 1u);
+}
+
+TEST(ChipConfig, MismatchedDramChannelsRejected)
+{
+    auto cfg = ChipConfig::scaled(4, 4);
+    cfg.dram.channels = 2; // noc has 4 MCs
+    EXPECT_DEATH(cfg.validate(), "DRAM channels");
+}
+
+namespace {
+
+struct ChipFixture : ::testing::Test {
+    Simulator sim;
+    ChipConfig cfg = ChipConfig::scaled(2, 4);
+
+    std::unique_ptr<SmarcoChip>
+    make()
+    {
+        return std::make_unique<SmarcoChip>(sim, cfg);
+    }
+
+    workloads::TaskSpec
+    taskOf(const char *profile, std::uint64_t ops, TaskId id = 0)
+    {
+        workloads::TaskSpec t;
+        t.id = id;
+        t.profile = &workloads::htcProfile(profile);
+        t.numOps = ops;
+        t.seed = 11 + id;
+        return t;
+    }
+};
+
+} // namespace
+
+TEST_F(ChipFixture, RunsTaskSetToCompletion)
+{
+    auto chip = make();
+    workloads::TaskSetParams tp;
+    tp.count = 24;
+    tp.seed = 5;
+    chip->submit(workloads::makeTaskSet(
+        workloads::htcProfile("wordcount"), tp));
+    chip->runUntilDone(10'000'000);
+    const auto m = chip->metrics();
+    EXPECT_EQ(m.tasksCompleted, 24u);
+    EXPECT_GT(m.opsCommitted, 24u * 10000);
+    EXPECT_GT(m.aggregateIpc, 0.0);
+    EXPECT_GT(m.dramRequests, 0u);
+}
+
+TEST_F(ChipFixture, DeterministicAcrossRuns)
+{
+    Cycle end1, end2;
+    std::uint64_t ops1, ops2;
+    {
+        Simulator s1;
+        SmarcoChip c1(s1, cfg);
+        workloads::TaskSetParams tp;
+        tp.count = 16;
+        tp.seed = 9;
+        c1.submit(workloads::makeTaskSet(
+            workloads::htcProfile("kmp"), tp));
+        end1 = c1.runUntilDone(10'000'000);
+        ops1 = c1.metrics().opsCommitted;
+    }
+    {
+        Simulator s2;
+        SmarcoChip c2(s2, cfg);
+        workloads::TaskSetParams tp;
+        tp.count = 16;
+        tp.seed = 9;
+        c2.submit(workloads::makeTaskSet(
+            workloads::htcProfile("kmp"), tp));
+        end2 = c2.runUntilDone(10'000'000);
+        ops2 = c2.metrics().opsCommitted;
+    }
+    EXPECT_EQ(end1, end2);
+    EXPECT_EQ(ops1, ops2);
+}
+
+TEST_F(ChipFixture, MactCollectsStreamTraffic)
+{
+    cfg.mact.enabled = true;
+    auto chip = make();
+    workloads::TaskSetParams tp;
+    tp.count = 16;
+    tp.seed = 2;
+    chip->submit(workloads::makeTaskSet(
+        workloads::htcProfile("kmp"), tp));
+    chip->runUntilDone(10'000'000);
+    std::uint64_t collected = 0, batches = 0;
+    for (std::uint32_t g = 0; g < cfg.noc.numSubRings; ++g) {
+        collected += chip->mact(g).collected();
+        batches += chip->mact(g).batches();
+    }
+    EXPECT_GT(collected, 100u);
+    EXPECT_GT(batches, 0u);
+    EXPECT_LT(batches, collected); // merging happened
+}
+
+TEST_F(ChipFixture, MactOffIncreasesDramRequests)
+{
+    std::uint64_t with_mact, without_mact;
+    std::uint64_t tasks_a, tasks_b;
+    {
+        Simulator s;
+        ChipConfig c = cfg;
+        c.mact.enabled = true;
+        SmarcoChip chip(s, c);
+        workloads::TaskSetParams tp;
+        tp.count = 16;
+        tp.seed = 4;
+        chip.submit(workloads::makeTaskSet(
+            workloads::htcProfile("kmp"), tp));
+        chip.runUntilDone(10'000'000);
+        with_mact = chip.metrics().dramRequests;
+        tasks_a = chip.metrics().tasksCompleted;
+    }
+    {
+        Simulator s;
+        ChipConfig c = cfg;
+        c.mact.enabled = false;
+        SmarcoChip chip(s, c);
+        workloads::TaskSetParams tp;
+        tp.count = 16;
+        tp.seed = 4;
+        chip.submit(workloads::makeTaskSet(
+            workloads::htcProfile("kmp"), tp));
+        chip.runUntilDone(10'000'000);
+        without_mact = chip.metrics().dramRequests;
+        tasks_b = chip.metrics().tasksCompleted;
+    }
+    EXPECT_EQ(tasks_a, tasks_b);
+    // Fig. 20: MACT shrinks the number of memory access requests.
+    EXPECT_LT(with_mact, without_mact);
+}
+
+TEST_F(ChipFixture, RealtimeTrafficUsesDirectPath)
+{
+    auto chip = make();
+    workloads::TaskSetParams tp;
+    tp.count = 16;
+    tp.seed = 8;
+    tp.realtime = true;
+    chip->submit(workloads::makeTaskSet(
+        workloads::htcProfile("rnc"), tp));
+    chip->runUntilDone(10'000'000);
+    const Stat &direct = sim.stats().get("chip.priorityDirect");
+    EXPECT_GT(direct.value(), 0.0);
+}
+
+TEST_F(ChipFixture, DmaStagingMovesTaskInput)
+{
+    cfg.dmaStaging = true;
+    auto chip = make();
+    workloads::TaskSetParams tp;
+    tp.count = 8;
+    tp.seed = 3;
+    chip->submit(workloads::makeTaskSet(
+        workloads::htcProfile("terasort"), tp));
+    chip->runUntilDone(10'000'000);
+    double staged = 0.0;
+    for (CoreId c = 0; c < chip->numCores(); ++c) {
+        if (auto *s = sim.stats().find(strprintf("chip.dma%03u.bytes", c)))
+            staged += s->value();
+    }
+    EXPECT_GT(staged, 8.0 * 1024); // at least the inputs moved
+}
+
+TEST_F(ChipFixture, StagingOffStillCompletes)
+{
+    cfg.dmaStaging = false;
+    auto chip = make();
+    workloads::TaskSetParams tp;
+    tp.count = 8;
+    tp.seed = 3;
+    chip->submit(workloads::makeTaskSet(
+        workloads::htcProfile("terasort"), tp));
+    chip->runUntilDone(10'000'000);
+    EXPECT_EQ(chip->metrics().tasksCompleted, 8u);
+}
+
+TEST_F(ChipFixture, LayoutRegionsDisjointAcrossCores)
+{
+    auto chip = make();
+    const auto t = taskOf("wordcount", 1000);
+    const auto l0 = chip->layoutFor(t, 0);
+    const auto l1 = chip->layoutFor(t, 1);
+    EXPECT_NE(l0.spmLocalBase, l1.spmLocalBase);
+    EXPECT_NE(l0.heapBase, l1.heapBase);
+    EXPECT_NE(l0.streamBase, l1.streamBase);
+    // Remote SPM of core 0 is a neighbour's window in the same ring.
+    EXPECT_EQ(l0.spmRemoteBase, l1.spmLocalBase);
+    // Heap regions do not overlap.
+    EXPECT_GE(l1.heapBase, l0.heapBase + l0.heapSize);
+}
+
+TEST_F(ChipFixture, SubmitToTargetsSpecificSubRing)
+{
+    auto chip = make();
+    for (TaskId i = 0; i < 6; ++i)
+        chip->submitTo(1, taskOf("search", 2000, i));
+    chip->runUntilDone(10'000'000);
+    EXPECT_EQ(chip->subScheduler(1).tasksCompleted(), 6u);
+    EXPECT_EQ(chip->subScheduler(0).tasksCompleted(), 0u);
+}
+
+TEST_F(ChipFixture, SubmitWithHookFiresOnCompletion)
+{
+    auto chip = make();
+    bool fired = false;
+    Cycle finish = 0;
+    chip->submitWithHook(taskOf("kmeans", 3000),
+        [&](const workloads::TaskSpec &, Cycle f, CoreId) {
+            fired = true;
+            finish = f;
+        });
+    chip->runUntilDone(10'000'000);
+    EXPECT_TRUE(fired);
+    EXPECT_GT(finish, 0u);
+}
+
+TEST_F(ChipFixture, MetricsConsistency)
+{
+    auto chip = make();
+    workloads::TaskSetParams tp;
+    tp.count = 12;
+    tp.seed = 6;
+    chip->submit(workloads::makeTaskSet(
+        workloads::htcProfile("rnc"), tp));
+    chip->runUntilDone(10'000'000);
+    const auto m = chip->metrics();
+    EXPECT_EQ(m.tasksCompleted, 12u);
+    EXPECT_GT(m.cycles, 0u);
+    EXPECT_NEAR(m.aggregateIpc,
+                static_cast<double>(m.opsCommitted) / m.cycles, 1e-9);
+    EXPECT_GE(m.nocUtilisation, 0.0);
+    EXPECT_LE(m.nocUtilisation, 1.0);
+    EXPECT_GT(m.avgMemLatency, 0.0);
+}

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Unit tests of the TCG core: pipeline issue, in-pair thread
+ * switching, shared instruction segment, store buffer, and the
+ * thread-scheme ablations.
+ */
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "core/tcg_core.hpp"
+#include "isa/instr_stream.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/profile.hpp"
+#include "workloads/profile_stream.hpp"
+
+using namespace smarco;
+using namespace smarco::core;
+using isa::MemClass;
+using isa::MicroOp;
+using isa::OpKind;
+
+namespace {
+
+/** MemPort completing every request after a fixed latency. */
+struct FixedLatencyPort : MemPort {
+    explicit FixedLatencyPort(Simulator &sim, Cycle latency)
+        : sim(sim), latency(latency) {}
+
+    void
+    request(CoreId, ThreadId, const MicroOp &, MemDone done) override
+    {
+        ++requests;
+        sim.events().scheduleAfter(sim.now(), latency, std::move(done));
+    }
+
+    void
+    writeback(CoreId, Addr) override
+    {
+        ++writebacks;
+    }
+
+    Simulator &sim;
+    Cycle latency;
+    int requests = 0;
+    int writebacks = 0;
+};
+
+MicroOp
+aluOp()
+{
+    return MicroOp{};
+}
+
+MicroOp
+memOp(OpKind kind, MemClass cls, Addr addr, std::uint8_t size = 4)
+{
+    MicroOp op;
+    op.kind = kind;
+    op.memClass = cls;
+    op.addr = addr;
+    op.size = size;
+    return op;
+}
+
+MicroOp
+haltOp()
+{
+    MicroOp op;
+    op.kind = OpKind::Halt;
+    return op;
+}
+
+workloads::TaskSpec
+task(std::uint64_t ops = 100)
+{
+    workloads::TaskSpec t;
+    t.id = 1;
+    t.profile = &workloads::htcProfile("wordcount");
+    t.numOps = ops;
+    t.seed = 3;
+    return t;
+}
+
+struct CoreFixture : ::testing::Test {
+    Simulator sim;
+    CoreParams params;
+    std::unique_ptr<FixedLatencyPort> port;
+    std::unique_ptr<TcgCore> core;
+
+    TcgCore &
+    make(Cycle mem_latency = 50)
+    {
+        port = std::make_unique<FixedLatencyPort>(sim, mem_latency);
+        core = std::make_unique<TcgCore>(sim, params, 0, 0x1000'0000,
+                                         *port, "core");
+        return *core;
+    }
+};
+
+} // namespace
+
+TEST_F(CoreFixture, RunsAluTraceToCompletion)
+{
+    auto &c = make();
+    std::vector<MicroOp> ops(200, aluOp());
+    ops.push_back(haltOp());
+    bool finished = false;
+    ASSERT_TRUE(c.attachTask(task(),
+        std::make_unique<isa::TraceStream>(ops),
+        [&](const workloads::TaskSpec &, Cycle) { finished = true; }));
+    sim.run(10000);
+    EXPECT_TRUE(finished);
+    EXPECT_EQ(c.committedOps(), 200u);
+    EXPECT_FALSE(c.busy());
+}
+
+TEST_F(CoreFixture, AttachFailsWhenAllContextsBusy)
+{
+    auto &c = make();
+    for (std::uint32_t i = 0; i < params.numThreads; ++i) {
+        std::vector<MicroOp> ops(1000, aluOp());
+        EXPECT_TRUE(c.attachTask(task(),
+            std::make_unique<isa::TraceStream>(ops), nullptr));
+    }
+    std::vector<MicroOp> ops(10, aluOp());
+    EXPECT_FALSE(c.attachTask(task(),
+        std::make_unique<isa::TraceStream>(ops), nullptr));
+    EXPECT_EQ(c.freeContexts(), 0u);
+}
+
+TEST_F(CoreFixture, SpmLocalAccessDoesNotLeaveCore)
+{
+    auto &c = make();
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 50; ++i)
+        ops.push_back(memOp(OpKind::Load, MemClass::SpmLocal,
+                            0x1000'0000 + i * 8));
+    ops.push_back(haltOp());
+    c.attachTask(task(), std::make_unique<isa::TraceStream>(ops),
+                 nullptr);
+    sim.run(1000);
+    EXPECT_EQ(port->requests, 0);
+    EXPECT_EQ(c.spm().reads(), 50u);
+}
+
+TEST_F(CoreFixture, HeapMissBlocksUntilFill)
+{
+    auto &c = make(80);
+    std::vector<MicroOp> ops;
+    ops.push_back(memOp(OpKind::Load, MemClass::Heap, 0x8000'0000));
+    ops.push_back(aluOp());
+    ops.push_back(haltOp());
+    bool finished = false;
+    Cycle finish = 0;
+    c.attachTask(task(), std::make_unique<isa::TraceStream>(ops),
+                 [&](const workloads::TaskSpec &, Cycle f) {
+                     finished = true;
+                     finish = f;
+                 });
+    sim.run(10000);
+    EXPECT_TRUE(finished);
+    EXPECT_EQ(port->requests, 1);
+    EXPECT_GE(finish, 80u); // waited for the fill
+}
+
+TEST_F(CoreFixture, HeapHitAfterFillIsFast)
+{
+    auto &c = make(80);
+    std::vector<MicroOp> ops;
+    ops.push_back(memOp(OpKind::Load, MemClass::Heap, 0x8000'0000));
+    // Same line again: must hit, no second request.
+    ops.push_back(memOp(OpKind::Load, MemClass::Heap, 0x8000'0008));
+    ops.push_back(haltOp());
+    c.attachTask(task(), std::make_unique<isa::TraceStream>(ops),
+                 nullptr);
+    sim.run(10000);
+    EXPECT_EQ(port->requests, 1);
+}
+
+TEST_F(CoreFixture, StoresAreNonBlockingThroughStoreBuffer)
+{
+    auto &c = make(100);
+    std::vector<MicroOp> ops;
+    // A couple of stream stores then lots of ALU work.
+    ops.push_back(memOp(OpKind::Store, MemClass::Stream, 0x9000'0000));
+    ops.push_back(memOp(OpKind::Store, MemClass::Stream, 0x9000'0100));
+    for (int i = 0; i < 100; ++i)
+        ops.push_back(aluOp());
+    ops.push_back(haltOp());
+    bool finished = false;
+    Cycle finish = 0;
+    c.attachTask(task(), std::make_unique<isa::TraceStream>(ops),
+                 [&](const workloads::TaskSpec &, Cycle f) {
+                     finished = true;
+                     finish = f;
+                 });
+    sim.run(10000);
+    EXPECT_TRUE(finished);
+    // Task completed well before 2x the memory latency: stores
+    // overlapped with the ALU work.
+    EXPECT_LT(finish, 200u);
+    EXPECT_EQ(port->requests, 2);
+}
+
+TEST_F(CoreFixture, StoreBufferFullStallsThread)
+{
+    params.storeBufferSlots = 2;
+    auto &c = make(500);
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 6; ++i)
+        ops.push_back(memOp(OpKind::Store, MemClass::Stream,
+                            0x9000'0000 + i * 256));
+    ops.push_back(haltOp());
+    bool finished = false;
+    Cycle finish = 0;
+    c.attachTask(task(), std::make_unique<isa::TraceStream>(ops),
+                 [&](const workloads::TaskSpec &, Cycle f) {
+                     finished = true;
+                     finish = f;
+                 });
+    sim.run(100000);
+    EXPECT_TRUE(finished);
+    // 6 stores with only 2 slots at 500-cycle latency: the thread
+    // must have waited for at least two full drain rounds.
+    EXPECT_GE(finish, 1000u);
+}
+
+TEST_F(CoreFixture, InPairThreadsHideMemoryLatency)
+{
+    // Two threads of pure blocking loads; with in-pair switching the
+    // total time approaches one thread's latency chain because each
+    // hides the other's stalls.
+    const auto run_with = [&](ThreadScheme scheme,
+                              std::uint32_t threads) {
+        Simulator s;
+        CoreParams p;
+        p.scheme = scheme;
+        p.numThreads = threads;
+        p.maxRunning = threads <= 4 ? threads : 4;
+        FixedLatencyPort prt(s, 60);
+        TcgCore c(s, p, 0, 0x1000'0000, prt, "c");
+        for (std::uint32_t t = 0; t < threads; ++t) {
+            std::vector<MicroOp> ops;
+            for (int i = 0; i < 40; ++i) {
+                ops.push_back(memOp(OpKind::Load, MemClass::Stream,
+                                    0x9000'0000 + i * 64));
+                ops.push_back(aluOp());
+            }
+            ops.push_back(haltOp());
+            workloads::TaskSpec ts;
+            ts.id = t;
+            ts.numOps = ops.size();
+            // No profile: stream loads always reach the port.
+            c.attachTask(ts, std::make_unique<isa::TraceStream>(ops),
+                         nullptr);
+        }
+        s.run(1000000);
+        return s.now();
+    };
+
+    const Cycle paired = run_with(ThreadScheme::InPair, 2);
+    const Cycle unpaired = run_with(ThreadScheme::NoSwitch, 2);
+    // NoSwitch leaves the second context idle... both threads have
+    // their own slot at maxRunning=2, so compare 5 vs 8 contexts:
+    const Cycle paired8 = run_with(ThreadScheme::InPair, 8);
+    const Cycle noswitch8 = run_with(ThreadScheme::NoSwitch, 8);
+    EXPECT_LT(paired8, noswitch8);
+    (void)paired;
+    (void)unpaired;
+}
+
+TEST_F(CoreFixture, PairPromotionOnStall)
+{
+    // With 8 threads (4 pairs), when a running thread stalls its
+    // friend runs; the pairSwitches stat must advance.
+    params.numThreads = 8;
+    params.maxRunning = 4;
+    auto &c = make(60);
+    for (int t = 0; t < 8; ++t) {
+        std::vector<MicroOp> ops;
+        for (int i = 0; i < 20; ++i)
+            ops.push_back(memOp(OpKind::Load, MemClass::Stream,
+                                0x9000'0000 + i * 64));
+        ops.push_back(haltOp());
+        workloads::TaskSpec ts;
+        ts.id = t;
+        ts.numOps = ops.size();
+        c.attachTask(ts, std::make_unique<isa::TraceStream>(ops),
+                     nullptr);
+    }
+    sim.run(1000000);
+    EXPECT_FALSE(c.busy());
+    const Stat &switches = sim.stats().get("core.pairSwitches");
+    EXPECT_GT(switches.value(), 0.0);
+}
+
+TEST_F(CoreFixture, MispredictFlushCostsCycles)
+{
+    auto &c = make();
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 50; ++i) {
+        MicroOp b;
+        b.kind = OpKind::Branch;
+        b.mispredict = true;
+        ops.push_back(b);
+    }
+    ops.push_back(haltOp());
+    Cycle finish = 0;
+    c.attachTask(task(), std::make_unique<isa::TraceStream>(ops),
+                 [&](const workloads::TaskSpec &, Cycle f) {
+                     finish = f;
+                 });
+    sim.run(100000);
+    // Each mispredict costs ~branchPenalty cycles.
+    EXPECT_GE(finish, 50u * params.branchPenalty);
+}
+
+TEST_F(CoreFixture, IpcImprovesWithThreads)
+{
+    const auto ipc_with = [&](std::uint32_t threads) {
+        Simulator s;
+        CoreParams p;
+        p.numThreads = threads;
+        p.maxRunning = std::min<std::uint32_t>(threads, 4);
+        FixedLatencyPort prt(s, 60);
+        TcgCore c(s, p, 0, 0x1000'0000, prt, "c");
+        const auto &prof = workloads::htcProfile("wordcount");
+        for (std::uint32_t t = 0; t < threads; ++t) {
+            workloads::TaskSpec ts;
+            ts.id = t;
+            ts.profile = &prof;
+            ts.numOps = 10000;
+            ts.seed = 7 + t;
+            workloads::AddressLayout l;
+            l.spmLocalBase = 0x1000'0000;
+            l.heapBase = 0x8000'0000;
+            l.streamBase = 0x9000'0000;
+            c.attachTask(ts, std::make_unique<workloads::ProfileStream>(
+                             prof, l, ts.numOps, ts.seed),
+                         nullptr);
+        }
+        s.run(10000000);
+        return c.ipc();
+    };
+    const double ipc1 = ipc_with(1);
+    const double ipc4 = ipc_with(4);
+    const double ipc8 = ipc_with(8);
+    EXPECT_GT(ipc4, ipc1 * 2.5); // near-linear up to 4 (Fig. 17)
+    EXPECT_GT(ipc8, ipc4);       // pairing keeps helping
+    EXPECT_LT(ipc8, ipc4 * 2.0); // but sub-linearly
+}
+
+TEST_F(CoreFixture, SharedInstrSegmentAvoidsStarvation)
+{
+    const auto starve_with = [&](bool shared) {
+        Simulator s;
+        CoreParams p;
+        p.sharedInstrSegment = shared;
+        FixedLatencyPort prt(s, 60);
+        TcgCore c(s, p, 0, 0x1000'0000, prt, "c");
+        const auto &prof = workloads::htcProfile("search"); // 12KB code
+        for (std::uint32_t t = 0; t < 8; ++t) {
+            workloads::TaskSpec ts;
+            ts.id = t;
+            ts.profile = &prof;
+            ts.numOps = 5000;
+            ts.seed = t;
+            workloads::AddressLayout l;
+            l.spmLocalBase = 0x1000'0000;
+            l.heapBase = 0x8000'0000;
+            l.streamBase = 0x9000'0000;
+            c.attachTask(ts, std::make_unique<workloads::ProfileStream>(
+                             prof, l, ts.numOps, ts.seed),
+                         nullptr);
+        }
+        s.run(10000000);
+        return c.starvationRatio();
+    };
+    // 8 threads x 12 KB private copies (96 KB) thrash the 16 KB
+    // I-cache; one shared segment fits.
+    EXPECT_LT(starve_with(true), starve_with(false));
+}
+
+TEST_F(CoreFixture, LaxityAwareIssueFavoursUrgentTask)
+{
+    params.issuePolicy = IssuePolicy::LaxityAware;
+    auto &c = make(60);
+    // Four identical tasks competing for 4 issue slots; only one has
+    // a tight deadline, so under laxity-aware arbitration it issues
+    // first each cycle and finishes earliest.
+    Cycle urgent_finish = 0;
+    Cycle lax_finish[3] = {0, 0, 0};
+    for (int t = 0; t < 4; ++t) {
+        std::vector<MicroOp> ops;
+        for (int i = 0; i < 3000; ++i)
+            ops.push_back(aluOp());
+        ops.push_back(haltOp());
+        workloads::TaskSpec ts;
+        ts.id = t;
+        ts.numOps = ops.size();
+        ts.deadline = t == 0 ? 4000 : kNoCycle;
+        c.attachTask(ts, std::make_unique<isa::TraceStream>(ops),
+                     [&, t](const workloads::TaskSpec &, Cycle f) {
+                         if (t == 0)
+                             urgent_finish = f;
+                         else
+                             lax_finish[t - 1] = f;
+                     });
+    }
+    sim.run(100000);
+    EXPECT_GT(urgent_finish, 0u);
+    for (Cycle f : lax_finish)
+        EXPECT_GT(f, 0u);
+    // With issue width 4 and per-thread ILP 2, the urgent task plus
+    // at most one other run at full speed; the remaining two must
+    // finish strictly later than the urgent one.
+    EXPECT_LT(urgent_finish, lax_finish[1]);
+    EXPECT_LT(urgent_finish, lax_finish[2]);
+}

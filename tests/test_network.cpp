@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests of the hierarchical ring network and the direct datapath.
+ */
+#include <gtest/gtest.h>
+
+#include "noc/direct_path.hpp"
+#include "noc/network.hpp"
+#include "sim/simulator.hpp"
+
+using namespace smarco;
+using namespace smarco::noc;
+
+namespace {
+
+struct NetFixture : ::testing::Test {
+    Simulator sim;
+    NetworkParams params;
+
+    NetFixture()
+    {
+        params.numSubRings = 4;
+        params.coresPerSubRing = 4;
+        params.numMemCtrls = 4;
+    }
+
+    std::unique_ptr<Network>
+    make()
+    {
+        return std::make_unique<Network>(sim, params, "noc");
+    }
+
+    Packet
+    pkt(NodeId src, NodeId dst, std::uint32_t bytes,
+        PacketKind kind = PacketKind::Control)
+    {
+        Packet p;
+        p.src = src;
+        p.dst = dst;
+        p.payloadBytes = bytes;
+        p.kind = kind;
+        return p;
+    }
+};
+
+} // namespace
+
+TEST_F(NetFixture, TopologyHelpers)
+{
+    auto net = make();
+    EXPECT_EQ(net->numCores(), 16u);
+    EXPECT_EQ(net->subRingOf(0), 0u);
+    EXPECT_EQ(net->subRingOf(5), 1u);
+    EXPECT_EQ(net->subStopOf(5), 1u);
+    EXPECT_EQ(net->subRingOf(15), 3u);
+}
+
+TEST_F(NetFixture, CoreToCoreSameSubRing)
+{
+    auto net = make();
+    bool delivered = false;
+    net->setEndpointHandler(NodeId{NodeKind::Core, 2},
+                            [&](Packet &&) { delivered = true; });
+    net->send(pkt(NodeId{NodeKind::Core, 0},
+                  NodeId{NodeKind::Core, 2}, 8));
+    sim.run(100);
+    EXPECT_TRUE(delivered);
+    // Same sub-ring: no gateway crossing.
+    EXPECT_EQ(net->packetsDelivered(), 1u);
+}
+
+TEST_F(NetFixture, CoreToCoreAcrossSubRings)
+{
+    auto net = make();
+    Cycle arrive = 0;
+    net->setEndpointHandler(NodeId{NodeKind::Core, 13},
+                            [&](Packet &&) { arrive = sim.now(); });
+    net->send(pkt(NodeId{NodeKind::Core, 0},
+                  NodeId{NodeKind::Core, 13}, 8));
+    sim.run(500);
+    EXPECT_GT(arrive, 0u);
+}
+
+TEST_F(NetFixture, CrossRingSlowerThanLocal)
+{
+    auto net = make();
+    Cycle local = 0, remote = 0;
+    net->setEndpointHandler(NodeId{NodeKind::Core, 1},
+                            [&](Packet &&) { local = sim.now(); });
+    net->setEndpointHandler(NodeId{NodeKind::Core, 9},
+                            [&](Packet &&) { remote = sim.now(); });
+    net->send(pkt(NodeId{NodeKind::Core, 0},
+                  NodeId{NodeKind::Core, 1}, 8));
+    net->send(pkt(NodeId{NodeKind::Core, 0},
+                  NodeId{NodeKind::Core, 9}, 8));
+    sim.run(500);
+    EXPECT_GT(remote, local);
+}
+
+TEST_F(NetFixture, CoreToMemCtrlAndBack)
+{
+    auto net = make();
+    bool req_at_mc = false, resp_at_core = false;
+    net->setEndpointHandler(NodeId{NodeKind::MemCtrl, 1},
+                            [&](Packet &&p) {
+        req_at_mc = true;
+        // Bounce a response.
+        Packet resp;
+        resp.src = NodeId{NodeKind::MemCtrl, 1};
+        resp.dst = p.src;
+        resp.payloadBytes = 72;
+        resp.kind = PacketKind::MemReadResp;
+        net->send(std::move(resp));
+    });
+    net->setEndpointHandler(NodeId{NodeKind::Core, 6},
+                            [&](Packet &&) { resp_at_core = true; });
+    net->send(pkt(NodeId{NodeKind::Core, 6},
+                  NodeId{NodeKind::MemCtrl, 1}, 12,
+                  PacketKind::MemReadReq));
+    sim.run(1000);
+    EXPECT_TRUE(req_at_mc);
+    EXPECT_TRUE(resp_at_core);
+}
+
+TEST_F(NetFixture, GatewayInterceptorConsumesOutbound)
+{
+    auto net = make();
+    int intercepted = 0;
+    bool reached_mc = false;
+    net->setGatewayInterceptor(0, [&](Packet &pkt) {
+        if (pkt.kind == PacketKind::MemReadReq) {
+            ++intercepted;
+            return true; // consumed (MACT collected it)
+        }
+        return false;
+    });
+    net->setEndpointHandler(NodeId{NodeKind::MemCtrl, 0},
+                            [&](Packet &&) { reached_mc = true; });
+    net->send(pkt(NodeId{NodeKind::Core, 0},
+                  NodeId{NodeKind::MemCtrl, 0}, 12,
+                  PacketKind::MemReadReq));
+    sim.run(500);
+    EXPECT_EQ(intercepted, 1);
+    EXPECT_FALSE(reached_mc);
+}
+
+TEST_F(NetFixture, InterceptorPassThroughContinues)
+{
+    auto net = make();
+    bool reached_mc = false;
+    net->setGatewayInterceptor(0, [](Packet &) { return false; });
+    net->setEndpointHandler(NodeId{NodeKind::MemCtrl, 0},
+                            [&](Packet &&) { reached_mc = true; });
+    net->send(pkt(NodeId{NodeKind::Core, 0},
+                  NodeId{NodeKind::MemCtrl, 0}, 12,
+                  PacketKind::MemReadReq));
+    sim.run(500);
+    EXPECT_TRUE(reached_mc);
+}
+
+TEST_F(NetFixture, GatewayEndpointReceivesControl)
+{
+    auto net = make();
+    bool got = false;
+    net->setEndpointHandler(NodeId{NodeKind::Gateway, 2},
+                            [&](Packet &&p) {
+        got = p.kind == PacketKind::Control;
+    });
+    net->send(pkt(NodeId{NodeKind::Io, 0},
+                  NodeId{NodeKind::Gateway, 2}, 32));
+    sim.run(500);
+    EXPECT_TRUE(got);
+}
+
+TEST_F(NetFixture, OnDeliverFallbackWhenNoHandler)
+{
+    auto net = make();
+    bool fired = false;
+    Packet p = pkt(NodeId{NodeKind::Core, 0},
+                   NodeId{NodeKind::Core, 3}, 8);
+    p.onDeliver = [&] { fired = true; };
+    net->send(std::move(p));
+    sim.run(100);
+    EXPECT_TRUE(fired);
+}
+
+TEST_F(NetFixture, ManyPacketsAllDelivered)
+{
+    auto net = make();
+    int delivered = 0;
+    for (std::uint32_t c = 0; c < 16; ++c)
+        net->setEndpointHandler(NodeId{NodeKind::Core, c},
+                                [&](Packet &&) { ++delivered; });
+    const int per_core = 20;
+    for (std::uint32_t c = 0; c < 16; ++c) {
+        for (int i = 0; i < per_core; ++i) {
+            net->send(pkt(NodeId{NodeKind::Core, c},
+                          NodeId{NodeKind::Core, (c + 5) % 16}, 8));
+        }
+    }
+    sim.run(20000);
+    EXPECT_EQ(delivered, 16 * per_core);
+}
+
+TEST_F(NetFixture, UtilisationGrowsWithTraffic)
+{
+    auto net = make();
+    net->setEndpointHandler(NodeId{NodeKind::Core, 9},
+                            [](Packet &&) {});
+    for (int i = 0; i < 50; ++i)
+        net->send(pkt(NodeId{NodeKind::Core, 0},
+                      NodeId{NodeKind::Core, 9}, 32));
+    sim.run(200);
+    EXPECT_GT(net->utilisation(sim.now()), 0.0);
+}
+
+TEST(DirectPath, FixedLatencyTransfer)
+{
+    Simulator sim;
+    DirectPathParams p;
+    p.numSubRings = 4;
+    p.linkLatency = 6;
+    p.bytesPerCycle = 8.0;
+    DirectPath path(sim, p, "direct");
+    Cycle done_at = 0;
+    path.transfer(0, 16, 0, [&] { done_at = sim.now(); });
+    sim.run(100);
+    EXPECT_EQ(done_at, 8u); // 6 + ceil(16/8)
+}
+
+TEST(DirectPath, PerSubRingChannelsIndependent)
+{
+    Simulator sim;
+    DirectPathParams p;
+    p.numSubRings = 2;
+    DirectPath path(sim, p, "direct");
+    Cycle a = 0, b = 0;
+    path.transfer(0, 64, 0, [&] { a = sim.now(); });
+    path.transfer(1, 64, 0, [&] { b = sim.now(); });
+    sim.run(100);
+    EXPECT_EQ(a, b); // no interference between star links
+}
+
+TEST(DirectPath, SerialisationQueuesOnOneLink)
+{
+    Simulator sim;
+    DirectPathParams p;
+    p.numSubRings = 1;
+    DirectPath path(sim, p, "direct");
+    Cycle first = 0, second = 0;
+    path.transfer(0, 64, 0, [&] { first = sim.now(); });
+    path.transfer(0, 64, 0, [&] { second = sim.now(); });
+    sim.run(100);
+    EXPECT_GT(second, first);
+}

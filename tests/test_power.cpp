@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests of the analytical power/area models, including the Table 1
+ * calibration.
+ */
+#include <gtest/gtest.h>
+
+#include "power/power_model.hpp"
+
+using namespace smarco::power;
+
+TEST(Power, Table1CalibrationAt32nm)
+{
+    const auto report = smarcoPower(SmarcoPowerSpec{});
+    // Table 1 rows (32 nm, peak activity).
+    EXPECT_NEAR(report.component("Cores").areaMm2, 634.32, 0.5);
+    EXPECT_NEAR(report.component("Cores").totalW(), 209.91, 0.5);
+    EXPECT_NEAR(report.component("Hierarchy Ring").areaMm2, 57.43, 0.3);
+    EXPECT_NEAR(report.component("Hierarchy Ring").totalW(), 14.55, 0.2);
+    EXPECT_NEAR(report.component("MACT").areaMm2, 1.43, 0.05);
+    EXPECT_NEAR(report.component("MACT").totalW(), 0.14, 0.02);
+    EXPECT_NEAR(report.component("SPM+Cache").areaMm2, 44.90, 0.3);
+    EXPECT_NEAR(report.component("SPM+Cache").totalW(), 1.84, 0.1);
+    EXPECT_NEAR(report.component("MC+PHY").areaMm2, 12.92, 0.1);
+    EXPECT_NEAR(report.component("MC+PHY").totalW(), 13.65, 0.2);
+    EXPECT_NEAR(report.totalAreaMm2(), 751.00, 1.0);
+    EXPECT_NEAR(report.totalPowerW(), 240.09, 1.0);
+}
+
+TEST(Power, MactIsTinyFractionOfChip)
+{
+    const auto report = smarcoPower(SmarcoPowerSpec{});
+    EXPECT_LT(report.component("MACT").areaMm2 /
+                  report.totalAreaMm2(),
+              0.005);
+}
+
+TEST(Power, ActivityScalesDynamicOnly)
+{
+    SmarcoPowerSpec idle;
+    idle.activity = 0.0;
+    SmarcoPowerSpec busy;
+    busy.activity = 1.0;
+    const auto r_idle = smarcoPower(idle);
+    const auto r_busy = smarcoPower(busy);
+    EXPECT_LT(r_idle.totalPowerW(), r_busy.totalPowerW());
+    EXPECT_GT(r_idle.totalPowerW(), 0.0); // leakage remains
+    EXPECT_DOUBLE_EQ(r_idle.totalAreaMm2(), r_busy.totalAreaMm2());
+}
+
+TEST(Power, TechScalingDirections)
+{
+    SmarcoPowerSpec at32;
+    SmarcoPowerSpec at40 = at32;
+    at40.node = TechNode::nm40();
+    SmarcoPowerSpec at14 = at32;
+    at14.node = TechNode::nm14();
+    const auto r32 = smarcoPower(at32);
+    const auto r40 = smarcoPower(at40);
+    const auto r14 = smarcoPower(at14);
+    // Older node: bigger and hungrier; newer node: smaller, cooler.
+    EXPECT_GT(r40.totalAreaMm2(), r32.totalAreaMm2());
+    EXPECT_GT(r40.totalPowerW(), r32.totalPowerW());
+    EXPECT_LT(r14.totalAreaMm2(), r32.totalAreaMm2());
+    EXPECT_LT(r14.totalPowerW(), r32.totalPowerW());
+}
+
+TEST(Power, PrototypeSmallerThanFullChip)
+{
+    SmarcoPowerSpec proto;
+    proto.node = TechNode::nm40();
+    proto.numCores = 32;
+    proto.numSubRings = 2;
+    proto.freqGHz = 1.0;
+    proto.numMemCtrls = 1;
+    proto.memBandwidthGBs = 34.1;
+    const auto full = smarcoPower(SmarcoPowerSpec{});
+    const auto p = smarcoPower(proto);
+    EXPECT_LT(p.totalAreaMm2(), full.totalAreaMm2() / 3.0);
+    EXPECT_LT(p.totalPowerW(), full.totalPowerW() / 3.0);
+}
+
+TEST(Power, CoreComplexityGrowsWithWidthAndThreads)
+{
+    PowerModel m(TechNode::nm32());
+    const auto narrow = m.cores(1, 2, 4, 1.5);
+    const auto wide = m.cores(1, 8, 4, 1.5);
+    const auto few = m.cores(1, 4, 2, 1.5);
+    const auto many = m.cores(1, 4, 8, 1.5);
+    EXPECT_GT(wide.areaMm2, narrow.areaMm2);
+    EXPECT_GT(wide.totalW(), narrow.totalW());
+    EXPECT_GT(many.areaMm2, few.areaMm2);
+}
+
+TEST(Power, XeonPowerCurve)
+{
+    EXPECT_NEAR(xeonPowerW(1.0), 165.0, 1e-9);
+    EXPECT_LT(xeonPowerW(0.0), 165.0 * 0.5);
+    EXPECT_GT(xeonPowerW(0.5), xeonPowerW(0.1));
+    // Clamped outside [0, 1].
+    EXPECT_DOUBLE_EQ(xeonPowerW(2.0), xeonPowerW(1.0));
+    EXPECT_DOUBLE_EQ(xeonPowerW(-1.0), xeonPowerW(0.0));
+}
+
+TEST(Power, EnergyEfficiencyRatioMatchesPaperArithmetic)
+{
+    // The paper's 6.95x mean energy-efficiency gain is its 10.11x
+    // mean speedup scaled by the 165 W / 240 W power ratio.
+    const auto report = smarcoPower(SmarcoPowerSpec{});
+    const double ratio = 10.11 * xeonPowerW(1.0) /
+                         report.totalPowerW();
+    EXPECT_NEAR(ratio, 6.95, 0.05);
+}

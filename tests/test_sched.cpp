@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit tests of the chain tables and schedulers (Section 3.7).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hpp"
+#include "sched/chain_table.hpp"
+#include "sched/main_scheduler.hpp"
+#include "sched/sub_scheduler.hpp"
+#include "workloads/profile.hpp"
+
+using namespace smarco;
+using namespace smarco::sched;
+
+namespace {
+
+workloads::TaskSpec
+task(TaskId id, Cycle deadline = kNoCycle, bool realtime = false,
+     std::uint64_t ops = 1000)
+{
+    workloads::TaskSpec t;
+    t.id = id;
+    t.numOps = ops;
+    t.deadline = deadline;
+    t.realtime = realtime;
+    return t;
+}
+
+} // namespace
+
+TEST(Laxity, DeadlineMinusRemaining)
+{
+    const auto t = task(1, 5000, false, 1000);
+    EXPECT_DOUBLE_EQ(taskLaxity(t, 0), 4000.0);
+    EXPECT_DOUBLE_EQ(taskLaxity(t, 1000), 3000.0);
+    EXPECT_DOUBLE_EQ(taskLaxity(t, 6000), -1000.0);
+}
+
+TEST(Laxity, NoDeadlineIsInfinite)
+{
+    EXPECT_TRUE(std::isinf(taskLaxity(task(1), 0)));
+}
+
+TEST(ChainTable, FifoWithoutLaxity)
+{
+    TaskChainTable table(16);
+    EXPECT_TRUE(table.insert(task(1)));
+    EXPECT_TRUE(table.insert(task(2)));
+    EXPECT_TRUE(table.insert(task(3)));
+    EXPECT_EQ(table.size(), 3u);
+    EXPECT_EQ(table.popNext(0, false)->id, 1u);
+    EXPECT_EQ(table.popNext(0, false)->id, 2u);
+    EXPECT_EQ(table.popNext(0, false)->id, 3u);
+    EXPECT_FALSE(table.popNext(0, false).has_value());
+}
+
+TEST(ChainTable, LeastLaxityFirst)
+{
+    TaskChainTable table(16);
+    table.insert(task(1, 9000, false, 1000)); // laxity 8000
+    table.insert(task(2, 3000, false, 1000)); // laxity 2000
+    table.insert(task(3, 5000, false, 1000)); // laxity 4000
+    EXPECT_EQ(table.popNext(0, true)->id, 2u);
+    EXPECT_EQ(table.popNext(0, true)->id, 3u);
+    EXPECT_EQ(table.popNext(0, true)->id, 1u);
+}
+
+TEST(ChainTable, HighPriorityChainFirst)
+{
+    TaskChainTable table(16);
+    table.insert(task(1, 100, false, 10));      // very urgent, normal
+    table.insert(task(2, 90000, true, 10));     // relaxed, realtime
+    EXPECT_EQ(table.highCount(), 1u);
+    // The high-priority chain is always served first.
+    EXPECT_EQ(table.popNext(0, true)->id, 2u);
+    EXPECT_EQ(table.popNext(0, true)->id, 1u);
+    EXPECT_EQ(table.highCount(), 0u);
+}
+
+TEST(ChainTable, CapacityExhaustion)
+{
+    TaskChainTable table(4);
+    for (TaskId i = 0; i < 4; ++i)
+        EXPECT_TRUE(table.insert(task(i)));
+    EXPECT_FALSE(table.insert(task(99)));
+    // Freeing one entry re-enables insertion (null chain recycling).
+    table.popNext(0, false);
+    EXPECT_TRUE(table.insert(task(100)));
+}
+
+TEST(ChainTable, InterleavedInsertPopKeepsIntegrity)
+{
+    TaskChainTable table(8);
+    std::uint64_t inserted = 0, popped = 0;
+    for (int round = 0; round < 100; ++round) {
+        inserted += table.insert(task(round, 1000 + round * 10)) ? 1 : 0;
+        if (round % 2 == 1) {
+            auto t = table.popNext(round, true);
+            ASSERT_TRUE(t.has_value());
+            ++popped;
+        }
+    }
+    while (table.popNext(0, true).has_value())
+        ++popped;
+    // Every successfully inserted task comes back out exactly once.
+    EXPECT_EQ(popped, inserted);
+    EXPECT_TRUE(table.empty());
+    // And freed entries are recycled through the null chain.
+    for (TaskId i = 0; i < 8; ++i)
+        EXPECT_TRUE(table.insert(task(i)));
+    EXPECT_FALSE(table.insert(task(9)));
+}
+
+namespace {
+
+/** Fake core farm for scheduler tests (through real TcgCores). */
+struct SchedEnv {
+    Simulator sim;
+
+    struct NullPort : core::MemPort {
+        void
+        request(CoreId, ThreadId, const isa::MicroOp &,
+                core::MemDone done) override
+        {
+            if (done)
+                done();
+        }
+        void writeback(CoreId, Addr) override {}
+    };
+
+    NullPort port;
+    std::vector<std::unique_ptr<core::TcgCore>> cores;
+
+    SubScheduler &
+    make(SchedPolicy policy, std::uint32_t num_cores = 2)
+    {
+        SubSchedulerParams sp;
+        sp.policy = policy;
+        sub = std::make_unique<SubScheduler>(sim, sp, 0, "sched");
+        for (std::uint32_t i = 0; i < num_cores; ++i) {
+            core::CoreParams cp;
+            cores.push_back(std::make_unique<core::TcgCore>(
+                sim, cp, i, 0x1000'0000 + i * 0x20000, port,
+                strprintf("core%u", i)));
+            sub->addCore(cores.back().get());
+        }
+        sub->setStreamFactory(
+            [](const workloads::TaskSpec &t, CoreId) {
+                std::vector<isa::MicroOp> ops(t.numOps);
+                isa::MicroOp halt;
+                halt.kind = isa::OpKind::Halt;
+                ops.push_back(halt);
+                return std::make_unique<isa::TraceStream>(ops);
+            });
+        return *sub;
+    }
+
+    std::unique_ptr<SubScheduler> sub;
+};
+
+struct SchedFixture : ::testing::Test, SchedEnv {
+};
+
+} // namespace
+
+TEST_F(SchedFixture, HardwareSchedulerDrainsQueue)
+{
+    auto &s = make(SchedPolicy::HardwareLaxity);
+    for (TaskId i = 0; i < 40; ++i)
+        s.submit(task(i, kNoCycle, false, 500));
+    sim.run(1000000);
+    EXPECT_EQ(s.tasksCompleted(), 40u);
+    EXPECT_EQ(s.pendingTasks(), 0u);
+    EXPECT_EQ(s.deadlineMisses(), 0u);
+}
+
+TEST_F(SchedFixture, SoftwareSchedulerDrainsQueue)
+{
+    auto &s = make(SchedPolicy::SoftwareDeadline);
+    for (TaskId i = 0; i < 40; ++i)
+        s.submit(task(i, kNoCycle, false, 500));
+    sim.run(5000000);
+    EXPECT_EQ(s.tasksCompleted(), 40u);
+}
+
+TEST_F(SchedFixture, ExitRecordsCarryDeadlineVerdict)
+{
+    auto &s = make(SchedPolicy::HardwareLaxity);
+    s.submit(task(0, 2, false, 50000)); // impossible deadline
+    s.submit(task(1, kNoCycle, false, 100));
+    sim.run(1000000);
+    ASSERT_EQ(s.exits().size(), 2u);
+    EXPECT_EQ(s.deadlineMisses(), 1u);
+    bool saw_missed = false;
+    for (const auto &e : s.exits()) {
+        if (e.taskId == 0) {
+            EXPECT_FALSE(e.metDeadline);
+            saw_missed = true;
+        }
+    }
+    EXPECT_TRUE(saw_missed);
+}
+
+TEST_F(SchedFixture, HardwareDispatchFasterThanSoftware)
+{
+    // Dispatch latency of the first task: HW decides in a few
+    // cycles, SW waits for its next quantum.
+    Cycle hw_done, sw_done;
+    {
+        auto &s = make(SchedPolicy::HardwareLaxity);
+        s.submit(task(0, kNoCycle, false, 100));
+        sim.run(1000000);
+        hw_done = s.exits().front().finish;
+    }
+    SchedEnv other;
+    {
+        auto &s = other.make(SchedPolicy::SoftwareDeadline);
+        // Miss the cycle-0 quantum on purpose.
+        other.sim.run(10);
+        s.submit(task(0, kNoCycle, false, 100));
+        other.sim.run(1000000);
+        sw_done = s.exits().front().finish;
+    }
+    EXPECT_LT(hw_done, sw_done);
+}
+
+TEST_F(SchedFixture, ReleaseTimeRespected)
+{
+    auto &s = make(SchedPolicy::HardwareLaxity);
+    auto t = task(0, kNoCycle, false, 10);
+    t.release = 500;
+    s.submit(t);
+    sim.run(1000000);
+    ASSERT_EQ(s.exits().size(), 1u);
+    EXPECT_GE(s.exits().front().finish, 500u);
+}
+
+TEST_F(SchedFixture, LoadCountsQueuedAndInFlight)
+{
+    auto &s = make(SchedPolicy::HardwareLaxity, 1);
+    for (TaskId i = 0; i < 20; ++i)
+        s.submit(task(i, kNoCycle, false, 2000));
+    EXPECT_EQ(s.load(), 20u);
+    sim.run(50);
+    EXPECT_GT(s.load(), 0u);
+    sim.run(1000000);
+    EXPECT_EQ(s.load(), 0u);
+}
+
+TEST(MainScheduler, BalancesAcrossSubRings)
+{
+    Simulator sim;
+    SchedEnv::NullPort port;
+    std::vector<std::unique_ptr<core::TcgCore>> cores;
+    std::vector<std::unique_ptr<SubScheduler>> subs;
+    SubSchedulerParams sp;
+    for (std::uint32_t g = 0; g < 4; ++g) {
+        subs.push_back(std::make_unique<SubScheduler>(
+            sim, sp, g, strprintf("s%u", g)));
+        core::CoreParams cp;
+        cores.push_back(std::make_unique<core::TcgCore>(
+            sim, cp, g, 0x1000'0000 + g * 0x20000, port,
+            strprintf("c%u", g)));
+        subs.back()->addCore(cores.back().get());
+        subs.back()->setStreamFactory(
+            [](const workloads::TaskSpec &t, CoreId) {
+                std::vector<isa::MicroOp> ops(t.numOps);
+                isa::MicroOp halt;
+                halt.kind = isa::OpKind::Halt;
+                ops.push_back(halt);
+                return std::make_unique<isa::TraceStream>(ops);
+            });
+    }
+    MainScheduler main(sim, {}, "main");
+    for (auto &s : subs)
+        main.addSubScheduler(s.get());
+
+    std::vector<workloads::TaskSpec> tasks;
+    for (TaskId i = 0; i < 64; ++i) {
+        workloads::TaskSpec t;
+        t.id = i;
+        t.numOps = 3000;
+        tasks.push_back(t);
+    }
+    main.submitAll(tasks);
+    sim.run(5000000);
+
+    std::uint64_t total = 0;
+    for (auto &s : subs) {
+        // Every sub-ring got a meaningful share.
+        EXPECT_GT(s->tasksCompleted(), 8u);
+        total += s->tasksCompleted();
+    }
+    EXPECT_EQ(total, 64u);
+    EXPECT_EQ(main.tasksRouted(), 64u);
+}
