@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig02_cdn.cpp" "bench/CMakeFiles/bench_fig02_cdn.dir/bench_fig02_cdn.cpp.o" "gcc" "bench/CMakeFiles/bench_fig02_cdn.dir/bench_fig02_cdn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/smarco_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/smarco_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/smarco_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/smarco_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/smarco_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/smarco_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smarco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/smarco_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smarco_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smarco_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smarco_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_cdn.dir/bench_fig02_cdn.cpp.o"
+  "CMakeFiles/bench_fig02_cdn.dir/bench_fig02_cdn.cpp.o.d"
+  "bench_fig02_cdn"
+  "bench_fig02_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_granularity.dir/bench_fig08_granularity.cpp.o"
+  "CMakeFiles/bench_fig08_granularity.dir/bench_fig08_granularity.cpp.o.d"
+  "bench_fig08_granularity"
+  "bench_fig08_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

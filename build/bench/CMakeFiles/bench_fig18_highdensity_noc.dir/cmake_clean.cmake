@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_highdensity_noc.dir/bench_fig18_highdensity_noc.cpp.o"
+  "CMakeFiles/bench_fig18_highdensity_noc.dir/bench_fig18_highdensity_noc.cpp.o.d"
+  "bench_fig18_highdensity_noc"
+  "bench_fig18_highdensity_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_highdensity_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_scheduler.dir/bench_fig21_scheduler.cpp.o"
+  "CMakeFiles/bench_fig21_scheduler.dir/bench_fig21_scheduler.cpp.o.d"
+  "bench_fig21_scheduler"
+  "bench_fig21_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

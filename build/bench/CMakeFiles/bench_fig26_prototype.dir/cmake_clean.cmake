@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig26_prototype.dir/bench_fig26_prototype.cpp.o"
+  "CMakeFiles/bench_fig26_prototype.dir/bench_fig26_prototype.cpp.o.d"
+  "bench_fig26_prototype"
+  "bench_fig26_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig26_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_offload.dir/cdn_offload.cpp.o"
+  "CMakeFiles/cdn_offload.dir/cdn_offload.cpp.o.d"
+  "cdn_offload"
+  "cdn_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_rnc.dir/realtime_rnc.cpp.o"
+  "CMakeFiles/realtime_rnc.dir/realtime_rnc.cpp.o.d"
+  "realtime_rnc"
+  "realtime_rnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_rnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/baseline_chip.cpp" "src/baseline/CMakeFiles/smarco_baseline.dir/baseline_chip.cpp.o" "gcc" "src/baseline/CMakeFiles/smarco_baseline.dir/baseline_chip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smarco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smarco_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/smarco_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smarco_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarco_baseline.dir/baseline_chip.cpp.o"
+  "CMakeFiles/smarco_baseline.dir/baseline_chip.cpp.o.d"
+  "libsmarco_baseline.a"
+  "libsmarco_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarco_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

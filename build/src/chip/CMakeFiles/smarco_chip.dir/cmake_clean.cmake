@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarco_chip.dir/chip_config.cpp.o"
+  "CMakeFiles/smarco_chip.dir/chip_config.cpp.o.d"
+  "CMakeFiles/smarco_chip.dir/smarco_chip.cpp.o"
+  "CMakeFiles/smarco_chip.dir/smarco_chip.cpp.o.d"
+  "libsmarco_chip.a"
+  "libsmarco_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarco_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarco_core.dir/tcg_core.cpp.o"
+  "CMakeFiles/smarco_core.dir/tcg_core.cpp.o.d"
+  "libsmarco_core.a"
+  "libsmarco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

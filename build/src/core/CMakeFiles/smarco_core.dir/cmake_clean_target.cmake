@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmarco_core.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/instr_stream.cpp" "src/isa/CMakeFiles/smarco_isa.dir/instr_stream.cpp.o" "gcc" "src/isa/CMakeFiles/smarco_isa.dir/instr_stream.cpp.o.d"
+  "/root/repo/src/isa/micro_op.cpp" "src/isa/CMakeFiles/smarco_isa.dir/micro_op.cpp.o" "gcc" "src/isa/CMakeFiles/smarco_isa.dir/micro_op.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smarco_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarco_isa.dir/instr_stream.cpp.o"
+  "CMakeFiles/smarco_isa.dir/instr_stream.cpp.o.d"
+  "CMakeFiles/smarco_isa.dir/micro_op.cpp.o"
+  "CMakeFiles/smarco_isa.dir/micro_op.cpp.o.d"
+  "libsmarco_isa.a"
+  "libsmarco_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarco_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/smarco_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/smarco_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/mem/CMakeFiles/smarco_mem.dir/dram.cpp.o" "gcc" "src/mem/CMakeFiles/smarco_mem.dir/dram.cpp.o.d"
+  "/root/repo/src/mem/mact.cpp" "src/mem/CMakeFiles/smarco_mem.dir/mact.cpp.o" "gcc" "src/mem/CMakeFiles/smarco_mem.dir/mact.cpp.o.d"
+  "/root/repo/src/mem/spm.cpp" "src/mem/CMakeFiles/smarco_mem.dir/spm.cpp.o" "gcc" "src/mem/CMakeFiles/smarco_mem.dir/spm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smarco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smarco_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

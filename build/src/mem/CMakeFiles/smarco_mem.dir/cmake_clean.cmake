@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarco_mem.dir/cache.cpp.o"
+  "CMakeFiles/smarco_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/smarco_mem.dir/dram.cpp.o"
+  "CMakeFiles/smarco_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/smarco_mem.dir/mact.cpp.o"
+  "CMakeFiles/smarco_mem.dir/mact.cpp.o.d"
+  "CMakeFiles/smarco_mem.dir/spm.cpp.o"
+  "CMakeFiles/smarco_mem.dir/spm.cpp.o.d"
+  "libsmarco_mem.a"
+  "libsmarco_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarco_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/direct_path.cpp" "src/noc/CMakeFiles/smarco_noc.dir/direct_path.cpp.o" "gcc" "src/noc/CMakeFiles/smarco_noc.dir/direct_path.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/smarco_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/smarco_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/packet.cpp" "src/noc/CMakeFiles/smarco_noc.dir/packet.cpp.o" "gcc" "src/noc/CMakeFiles/smarco_noc.dir/packet.cpp.o.d"
+  "/root/repo/src/noc/ring.cpp" "src/noc/CMakeFiles/smarco_noc.dir/ring.cpp.o" "gcc" "src/noc/CMakeFiles/smarco_noc.dir/ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smarco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smarco_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smarco_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarco_noc.dir/direct_path.cpp.o"
+  "CMakeFiles/smarco_noc.dir/direct_path.cpp.o.d"
+  "CMakeFiles/smarco_noc.dir/network.cpp.o"
+  "CMakeFiles/smarco_noc.dir/network.cpp.o.d"
+  "CMakeFiles/smarco_noc.dir/packet.cpp.o"
+  "CMakeFiles/smarco_noc.dir/packet.cpp.o.d"
+  "CMakeFiles/smarco_noc.dir/ring.cpp.o"
+  "CMakeFiles/smarco_noc.dir/ring.cpp.o.d"
+  "libsmarco_noc.a"
+  "libsmarco_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarco_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarco_power.dir/power_model.cpp.o"
+  "CMakeFiles/smarco_power.dir/power_model.cpp.o.d"
+  "libsmarco_power.a"
+  "libsmarco_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarco_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarco_runtime.dir/mapreduce.cpp.o"
+  "CMakeFiles/smarco_runtime.dir/mapreduce.cpp.o.d"
+  "CMakeFiles/smarco_runtime.dir/threading.cpp.o"
+  "CMakeFiles/smarco_runtime.dir/threading.cpp.o.d"
+  "libsmarco_runtime.a"
+  "libsmarco_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarco_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarco_sched.dir/chain_table.cpp.o"
+  "CMakeFiles/smarco_sched.dir/chain_table.cpp.o.d"
+  "CMakeFiles/smarco_sched.dir/main_scheduler.cpp.o"
+  "CMakeFiles/smarco_sched.dir/main_scheduler.cpp.o.d"
+  "CMakeFiles/smarco_sched.dir/sub_scheduler.cpp.o"
+  "CMakeFiles/smarco_sched.dir/sub_scheduler.cpp.o.d"
+  "libsmarco_sched.a"
+  "libsmarco_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarco_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

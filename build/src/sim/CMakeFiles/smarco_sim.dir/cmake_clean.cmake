@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarco_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/smarco_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/smarco_sim.dir/logging.cpp.o"
+  "CMakeFiles/smarco_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/smarco_sim.dir/random.cpp.o"
+  "CMakeFiles/smarco_sim.dir/random.cpp.o.d"
+  "CMakeFiles/smarco_sim.dir/simulator.cpp.o"
+  "CMakeFiles/smarco_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/smarco_sim.dir/stats.cpp.o"
+  "CMakeFiles/smarco_sim.dir/stats.cpp.o.d"
+  "libsmarco_sim.a"
+  "libsmarco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

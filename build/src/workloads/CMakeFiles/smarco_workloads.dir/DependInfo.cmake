@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cdn.cpp" "src/workloads/CMakeFiles/smarco_workloads.dir/cdn.cpp.o" "gcc" "src/workloads/CMakeFiles/smarco_workloads.dir/cdn.cpp.o.d"
+  "/root/repo/src/workloads/profile.cpp" "src/workloads/CMakeFiles/smarco_workloads.dir/profile.cpp.o" "gcc" "src/workloads/CMakeFiles/smarco_workloads.dir/profile.cpp.o.d"
+  "/root/repo/src/workloads/profile_stream.cpp" "src/workloads/CMakeFiles/smarco_workloads.dir/profile_stream.cpp.o" "gcc" "src/workloads/CMakeFiles/smarco_workloads.dir/profile_stream.cpp.o.d"
+  "/root/repo/src/workloads/task.cpp" "src/workloads/CMakeFiles/smarco_workloads.dir/task.cpp.o" "gcc" "src/workloads/CMakeFiles/smarco_workloads.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/smarco_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smarco_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

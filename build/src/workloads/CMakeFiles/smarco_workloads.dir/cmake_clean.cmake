@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarco_workloads.dir/cdn.cpp.o"
+  "CMakeFiles/smarco_workloads.dir/cdn.cpp.o.d"
+  "CMakeFiles/smarco_workloads.dir/profile.cpp.o"
+  "CMakeFiles/smarco_workloads.dir/profile.cpp.o.d"
+  "CMakeFiles/smarco_workloads.dir/profile_stream.cpp.o"
+  "CMakeFiles/smarco_workloads.dir/profile_stream.cpp.o.d"
+  "CMakeFiles/smarco_workloads.dir/task.cpp.o"
+  "CMakeFiles/smarco_workloads.dir/task.cpp.o.d"
+  "libsmarco_workloads.a"
+  "libsmarco_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarco_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mact.dir/test_mact.cpp.o"
+  "CMakeFiles/test_mact.dir/test_mact.cpp.o.d"
+  "test_mact"
+  "test_mact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
