@@ -67,16 +67,9 @@ runSmarco(const chip::ChipConfig &cfg,
 
     SmarcoRun run;
     run.metrics = chip.metrics();
-    double used = 0.0, offered = 0.0;
-    for (auto *s : sim.stats().findPrefix("chip.core")) {
-        const std::string &n = s->name();
-        if (n.size() > 10 && n.compare(n.size() - 10, 10,
-                                       ".slotsUsed") == 0)
-            used += s->value();
-        if (n.size() > 13 && n.compare(n.size() - 13, 13,
-                                       ".slotsOffered") == 0)
-            offered += s->value();
-    }
+    const double used = sim.stats().total("chip.core", ".slotsUsed");
+    const double offered =
+        sim.stats().total("chip.core", ".slotsOffered");
     run.utilisation = offered > 0.0 ? used / offered : 0.0;
     run.dramBytes = chip.dram().totalBytes();
     return run;

@@ -127,6 +127,52 @@ SmarcoChip::SmarcoChip(Simulator &sim, ChipConfig cfg)
             pkt.meta = wire;
             network_->send(std::move(pkt));
         });
+
+    // Time-series probes: rates are computed over the sampling
+    // interval from the cumulative counters, so the series shows
+    // phase behaviour rather than a long-run average.
+    if (sim_.sampler().interval() > 0) {
+        sim_.sampler().addProbe(
+            "ipc",
+            [this, last_ops = std::uint64_t{0},
+             last_cycle = Cycle{0}]() mutable {
+                std::uint64_t ops = 0;
+                for (const auto &c : cores_)
+                    ops += c->committedOps();
+                const Cycle now = sim_.now();
+                const double ipc =
+                    now > last_cycle
+                        ? static_cast<double>(ops - last_ops) /
+                              static_cast<double>(now - last_cycle)
+                        : 0.0;
+                last_ops = ops;
+                last_cycle = now;
+                return ipc;
+            });
+        sim_.sampler().addProbe("noc.inFlight", [this]() {
+            return static_cast<double>(network_->totalInFlight());
+        });
+        sim_.sampler().addProbe(
+            "dram.bytesPerCycle",
+            [this, last_bytes = 0.0, last_cycle = Cycle{0}]() mutable {
+                const double bytes = dram_->totalBytes();
+                const Cycle now = sim_.now();
+                const double bw =
+                    now > last_cycle
+                        ? (bytes - last_bytes) /
+                              static_cast<double>(now - last_cycle)
+                        : 0.0;
+                last_bytes = bytes;
+                last_cycle = now;
+                return bw;
+            });
+        sim_.sampler().addProbe("sched.ready", [this]() {
+            std::uint64_t ready = 0;
+            for (const auto &s : subScheds_)
+                ready += s->pendingTasks();
+            return static_cast<double>(ready);
+        });
+    }
 }
 
 SmarcoChip::~SmarcoChip() = default;

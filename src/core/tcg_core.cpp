@@ -174,11 +174,36 @@ TcgCore::activeOf(std::uint32_t slot)
 }
 
 void
+TcgCore::traceStall(const char *reason, std::uint32_t ctx_idx,
+                    Cycle now)
+{
+    sim_.trace().instant(TraceCat::Core, "stall", now, id_,
+                         strprintf("{\"reason\":\"%s\",\"ctx\":%u}",
+                                   reason, ctx_idx));
+}
+
+void
+TcgCore::traceTaskDone(const Context &ctx, std::uint32_t ctx_idx,
+                       Cycle now)
+{
+    const std::string kernel =
+        ctx.task.profile ? ctx.task.profile->name : "task";
+    sim_.trace().complete(
+        TraceCat::Core, kernel, ctx.taskStart, now, id_,
+        strprintf("{\"task\":%llu,\"ops\":%llu,\"ctx\":%u}",
+                  static_cast<unsigned long long>(ctx.task.id),
+                  static_cast<unsigned long long>(ctx.opsDone),
+                  ctx_idx));
+}
+
+void
 TcgCore::stallThread(std::uint32_t ctx_idx, Cycle now)
 {
     Context &ctx = contexts_[ctx_idx];
     ctx.state = State::Stalled;
     ++stallsMem_;
+    if (sim_.trace().enabled(TraceCat::Core)) [[unlikely]]
+        traceStall("mem", ctx_idx, now);
 
     if (params_.scheme == ThreadScheme::NoSwitch)
         return;
@@ -230,6 +255,8 @@ TcgCore::finishTask(std::uint32_t ctx_idx, Cycle now)
 {
     Context &ctx = contexts_[ctx_idx];
     ++tasksFinished_;
+    if (sim_.trace().enabled(TraceCat::Core)) [[unlikely]]
+        traceTaskDone(ctx, ctx_idx, now);
     const workloads::TaskSpec task = ctx.task;
     TaskDone done = std::move(ctx.done);
     ctx.state = State::Idle;
@@ -271,6 +298,10 @@ TcgCore::fetchOk(Context &ctx, Cycle now)
     // Refill from the prefetched SPM instruction segment.
     ctx.readyAt = std::max(ctx.readyAt, now + params_.icacheMissPenalty);
     ++starveCycles_;
+    if (sim_.trace().enabled(TraceCat::Core)) [[unlikely]]
+        traceStall("istarve",
+                   static_cast<std::uint32_t>(&ctx - contexts_.data()),
+                   now);
     return false;
 }
 

@@ -148,6 +148,13 @@ class TcgCore : public Ticking
     std::uint32_t friendOf(std::uint32_t ctx) const;
     /** Context currently eligible to issue for a run slot. */
     Context *activeOf(std::uint32_t slot);
+    /** Out-of-line trace emission keeps the issue path small. */
+    [[gnu::cold, gnu::noinline]]
+    void traceStall(const char *reason, std::uint32_t ctx_idx,
+                    Cycle now);
+    [[gnu::cold, gnu::noinline]]
+    void traceTaskDone(const Context &ctx, std::uint32_t ctx_idx,
+                       Cycle now);
     void stallThread(std::uint32_t ctx_idx, Cycle now);
     void wakeThread(std::uint32_t ctx_idx, Cycle now);
     void finishTask(std::uint32_t ctx_idx, Cycle now);

@@ -26,6 +26,12 @@ DramController::DramController(Simulator &sim, DramParams params,
         fatal("DRAM: zero channels");
     if (params_.bytesPerCycle <= 0.0)
         fatal("DRAM: non-positive bandwidth");
+    channelBytes_.reserve(params_.channels);
+    for (std::uint32_t ch = 0; ch < params_.channels; ++ch)
+        channelBytes_.push_back(std::make_unique<Scalar>(
+            sim.stats(), strprintf("%s.ch%u.bytes",
+                                   stat_prefix.c_str(), ch),
+            "data bytes moved by this channel"));
 }
 
 std::uint32_t
@@ -102,9 +108,14 @@ DramController::serviceNext(std::uint32_t ch)
 
     ++requests_;
     bytes_ += static_cast<double>(req.bytes);
+    *channelBytes_[ch] += static_cast<double>(req.bytes);
     queueDelay_.sample(static_cast<double>(now - req.enqueued));
     if (is_read)
         readLatency_.sample(static_cast<double>(finish - req.enqueued));
+    if (sim_.trace().enabled(TraceCat::Mem))
+        sim_.trace().counter(TraceCat::Mem,
+                             strprintf("dram.ch%u.bytes", ch), now,
+                             channelBytes_[ch]->value());
 
     if (req.done)
         sim_.events().schedule(finish, std::move(req.done));

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,9 @@ class DramController
     double avgReadLatency() const { return readLatency_.value(); }
     double avgQueueDelay() const { return queueDelay_.value(); }
     double totalBytes() const { return bytes_.value(); }
+    /** Data bytes moved by one channel so far. */
+    double channelBytes(std::uint32_t ch) const
+    { return channelBytes_[ch]->value(); }
 
     /** True while any channel has queued or in-service requests. */
     bool busyNow() const;
@@ -118,6 +122,8 @@ class DramController
     Scalar bytes_;
     Average readLatency_;
     Average queueDelay_;
+    /** Per-channel data bytes (".ch<N>.bytes" in the registry). */
+    std::vector<std::unique_ptr<Scalar>> channelBytes_;
 };
 
 } // namespace smarco::mem

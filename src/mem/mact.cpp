@@ -24,7 +24,8 @@ MactBatch::wireBytes() const
 
 Mact::Mact(Simulator &sim, MactParams params,
            const std::string &stat_prefix)
-    : params_(params),
+    : sim_(sim),
+      params_(params),
       table_(params.lines),
       collected_(sim.stats(), stat_prefix + ".collected",
                  "requests absorbed into the table"),
@@ -69,6 +70,8 @@ Mact::collect(const MemRequest &req, Cycle now)
     if (!params_.enabled || req.priority ||
         req.bytes > params_.maxCollectBytes || req.bytes == 0) {
         ++bypassed_;
+        if (sim_.trace().enabled(TraceCat::Mem))
+            sim_.trace().instant(TraceCat::Mem, "mact.bypass", now);
         return false;
     }
     const Addr base = req.addr & ~static_cast<Addr>(params_.lineBytes - 1);
@@ -98,9 +101,12 @@ Mact::collect(const MemRequest &req, Cycle now)
             line.vector |= bits;
             line.requests.push_back(req);
             ++collected_;
+            if (sim_.trace().enabled(TraceCat::Mem))
+                sim_.trace().instant(TraceCat::Mem, "mact.hit", now,
+                                     req.core);
             if (line.vector == fullVector()) {
                 ++fullFlushes_;
-                flushLine(line);
+                flushLine(line, "full");
             }
             return true;
         }
@@ -110,7 +116,7 @@ Mact::collect(const MemRequest &req, Cycle now)
     Line *slot = free_line;
     if (!slot) {
         ++capacityFlushes_;
-        flushLine(*oldest);
+        flushLine(*oldest, "capacity");
         slot = oldest;
     }
     slot->valid = true;
@@ -122,9 +128,12 @@ Mact::collect(const MemRequest &req, Cycle now)
     slot->requests.push_back(req);
     ++used_;
     ++collected_;
+    if (sim_.trace().enabled(TraceCat::Mem))
+        sim_.trace().instant(TraceCat::Mem, "mact.alloc", now,
+                             req.core);
     if (slot->vector == fullVector()) {
         ++fullFlushes_;
-        flushLine(*slot);
+        flushLine(*slot, "full");
     }
     return true;
 }
@@ -137,7 +146,7 @@ Mact::tick(Cycle now)
     for (auto &line : table_) {
         if (line.valid && now >= line.firstCollect + params_.threshold) {
             ++deadlineFlushes_;
-            flushLine(line);
+            flushLine(line, "deadline");
         }
     }
 }
@@ -147,12 +156,12 @@ Mact::flushAll()
 {
     for (auto &line : table_) {
         if (line.valid)
-            flushLine(line);
+            flushLine(line, "drain");
     }
 }
 
 void
-Mact::flushLine(Line &line)
+Mact::flushLine(Line &line, const char *reason)
 {
     if (!sink_)
         panic("MACT flush before setSink");
@@ -163,6 +172,14 @@ Mact::flushLine(Line &line)
     batch.requests = std::move(line.requests);
     batchSize_.sample(static_cast<double>(batch.requests.size()));
     ++batches_;
+    if (sim_.trace().enabled(TraceCat::Mem))
+        sim_.trace().complete(
+            TraceCat::Mem, "mact.batch", line.firstCollect,
+            sim_.now(), 0,
+            strprintf("{\"reason\":\"%s\",\"merged\":%zu,"
+                      "\"write\":%s}",
+                      reason, batch.requests.size(),
+                      batch.write ? "true" : "false"));
 
     line.valid = false;
     line.requests.clear();

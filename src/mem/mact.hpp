@@ -97,9 +97,10 @@ class Mact : public Ticking
         std::vector<MemRequest> requests;
     };
 
-    void flushLine(Line &line);
+    void flushLine(Line &line, const char *reason);
     std::uint64_t fullVector() const;
 
+    Simulator &sim_;
     MactParams params_;
     BatchSink sink_;
     std::vector<Line> table_;

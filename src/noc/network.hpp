@@ -90,6 +90,14 @@ class Network
     std::uint64_t packetsDelivered() const
     { return static_cast<std::uint64_t>(delivered_.value()); }
     double avgEndToEndLatency() const { return endToEnd_.value(); }
+    /** Packets currently queued or traversing any ring. */
+    std::uint64_t totalInFlight() const
+    {
+        std::uint64_t n = main_->inFlight();
+        for (const auto &s : subs_)
+            n += s->inFlight();
+        return n;
+    }
     /** Aggregate link utilisation across all rings. */
     double utilisation(Cycle elapsed) const;
 

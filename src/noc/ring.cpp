@@ -99,12 +99,19 @@ Ring::inject(std::uint32_t src_stop, std::uint32_t dst_stop,
     t.remBytes = std::max<std::uint32_t>(pkt.payloadBytes, 1);
     t.enqueued = sim_.now();
     t.pkt = std::move(pkt);
+    const std::uint32_t traced_bytes = t.remBytes;
     if (t.pkt.priority)
         s.inject[dir].push_front(std::move(t));
     else
         s.inject[dir].push_back(std::move(t));
     ++inFlight_;
     ++injected_;
+    if (sim_.trace().enabled(TraceCat::Noc))
+        sim_.trace().instant(
+            TraceCat::Noc, params_.name + ".inject", sim_.now(),
+            src_stop,
+            strprintf("{\"dst\":%u,\"dir\":%u,\"bytes\":%u}",
+                      dst_stop, dir, traced_bytes));
     return true;
 }
 
@@ -177,6 +184,14 @@ Ring::eject(Stop &s, std::uint32_t stop_idx, Cycle now)
             --inFlight_;
             ++delivered_;
             hopLatency_.sample(static_cast<double>(lat));
+            if (sim_.trace().enabled(TraceCat::Noc))
+                sim_.trace().instant(
+                    TraceCat::Noc, params_.name + ".eject", now,
+                    stop_idx,
+                    strprintf("{\"latency\":%llu,\"bytes\":%u}",
+                              static_cast<unsigned long long>(lat),
+                              std::max<std::uint32_t>(
+                                  pkt.payloadBytes, 1)));
             if (s.handler)
                 s.handler(std::move(pkt));
             else if (pkt.onDeliver)

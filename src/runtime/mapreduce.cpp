@@ -75,6 +75,13 @@ MapReduceJob::run(chip::SmarcoChip &chip, const std::string &input)
     chip.submit(map_tasks);
     chip.runUntilDone();
     stats_.mapCycles = chip.sim().now() - start;
+    if (chip.sim().trace().enabled(TraceCat::Runtime))
+        chip.sim().trace().complete(
+            TraceCat::Runtime, "map", start, chip.sim().now(), 0,
+            strprintf("{\"tasks\":%llu,\"slices\":%zu}",
+                      static_cast<unsigned long long>(
+                          stats_.mapTasks),
+                      slices.size()));
 
     // ---- Shuffle: hash-partition emitted pairs among reducers.
     std::uint32_t partitions = cfg_.reducePartitions;
@@ -93,6 +100,14 @@ MapReduceJob::run(chip::SmarcoChip &chip, const std::string &input)
             buckets[h % partitions][kv.key].push_back(kv.value);
         }
     }
+
+    if (chip.sim().trace().enabled(TraceCat::Runtime))
+        chip.sim().trace().instant(
+            TraceCat::Runtime, "shuffle", chip.sim().now(), 0,
+            strprintf("{\"pairs\":%llu,\"partitions\":%u}",
+                      static_cast<unsigned long long>(
+                          stats_.pairsEmitted),
+                      partitions));
 
     // ---- Reduce stage: one simulated task per non-empty partition;
     // the host executes the functional reduce.
@@ -125,6 +140,13 @@ MapReduceJob::run(chip::SmarcoChip &chip, const std::string &input)
     }
     stats_.reduceCycles = chip.sim().now() - reduce_start;
     stats_.totalCycles = chip.sim().now() - start;
+    if (chip.sim().trace().enabled(TraceCat::Runtime))
+        chip.sim().trace().complete(
+            TraceCat::Runtime, "reduce", reduce_start,
+            chip.sim().now(), 0,
+            strprintf("{\"tasks\":%llu}",
+                      static_cast<unsigned long long>(
+                          stats_.reduceTasks)));
     return result;
 }
 

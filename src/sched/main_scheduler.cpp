@@ -52,6 +52,12 @@ MainScheduler::route(const workloads::TaskSpec &task)
         fatal("MainScheduler: no sub-schedulers registered");
     const std::uint32_t target = leastLoaded();
     ++routed_;
+    if (sim_.trace().enabled(TraceCat::Sched))
+        sim_.trace().instant(
+            TraceCat::Sched, "route", sim_.now(), target,
+            strprintf("{\"task\":%llu,\"sub\":%u}",
+                      static_cast<unsigned long long>(task.id),
+                      target));
     if (transport_)
         transport_(target, task);
     else

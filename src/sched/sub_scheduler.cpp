@@ -89,7 +89,7 @@ SubScheduler::dispatchOne(const workloads::TaskSpec &task, Cycle now)
     ++inFlight_;
 
     const CoreId core_id = core->id();
-    auto attach = [this, task, core, slot]() {
+    auto attach = [this, task, core, slot, now]() {
         --reserved_[slot];
         isa::StreamPtr stream = makeStream_
             ? makeStream_(task, core->id())
@@ -97,7 +97,8 @@ SubScheduler::dispatchOne(const workloads::TaskSpec &task, Cycle now)
         if (!stream)
             panic("sub-scheduler %u: no stream factory", id_);
         const bool ok = core->attachTask(task, std::move(stream),
-            [this, core](const workloads::TaskSpec &t, Cycle finish) {
+            [this, core, now](const workloads::TaskSpec &t,
+                              Cycle finish) {
                 TaskExit exit;
                 exit.taskId = t.id;
                 exit.core = core->id();
@@ -107,6 +108,15 @@ SubScheduler::dispatchOne(const workloads::TaskSpec &task, Cycle now)
                     !t.hasDeadline() || finish <= t.deadline;
                 if (!exit.metDeadline)
                     ++misses_;
+                if (sim_.trace().enabled(TraceCat::Sched))
+                    sim_.trace().complete(
+                        TraceCat::Sched, "task", now, finish,
+                        core->id(),
+                        strprintf("{\"task\":%llu,\"met\":%s}",
+                                  static_cast<unsigned long long>(
+                                      t.id),
+                                  exit.metDeadline ? "true"
+                                                   : "false"));
                 exits_.push_back(exit);
                 --inFlight_;
                 if (exitCb_)

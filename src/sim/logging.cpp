@@ -7,7 +7,19 @@
 namespace smarco {
 
 namespace {
+
 LogLevel g_level = LogLevel::Normal;
+const Cycle *g_cycle = nullptr;
+
+/** " @<cycle>" when a simulation clock is installed, else "". */
+std::string
+cyclePrefix()
+{
+    if (!g_cycle)
+        return std::string();
+    return " @" + std::to_string(*g_cycle);
+}
+
 } // namespace
 
 void
@@ -20,6 +32,18 @@ LogLevel
 logLevel()
 {
     return g_level;
+}
+
+void
+setLogCycleSource(const Cycle *cycle)
+{
+    g_cycle = cycle;
+}
+
+const Cycle *
+logCycleSource()
+{
+    return g_cycle;
 }
 
 namespace detail {
@@ -79,7 +103,8 @@ warn(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = detail::vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    std::fprintf(stderr, "warn%s: %s\n", cyclePrefix().c_str(),
+                 msg.c_str());
 }
 
 void
@@ -91,7 +116,8 @@ inform(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = detail::vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    std::fprintf(stdout, "info%s: %s\n", cyclePrefix().c_str(),
+                 msg.c_str());
 }
 
 } // namespace smarco

@@ -12,6 +12,8 @@
 #include <cstdarg>
 #include <string>
 
+#include "sim/types.hpp"
+
 namespace smarco {
 
 /** Verbosity knob for inform(); warnings are always printed. */
@@ -40,6 +42,18 @@ void warn(const char *fmt, ...);
 
 /** Print an informative status message (suppressed when Quiet). */
 void inform(const char *fmt, ...);
+
+/**
+ * Install the simulated-clock source used to prefix warn()/inform()
+ * lines with "@<cycle>" while a simulation is active, so log output
+ * correlates with stats samples and trace events. The Simulator
+ * installs its own cycle counter on construction and restores the
+ * previous source on destruction; pass nullptr to clear.
+ */
+void setLogCycleSource(const Cycle *cycle);
+
+/** Currently installed cycle source (nullptr when none). */
+const Cycle *logCycleSource();
 
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...);

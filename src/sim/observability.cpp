@@ -1,0 +1,243 @@
+#include "sim/observability.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "sim/logging.hpp"
+#include "sim/trace.hpp"
+
+namespace smarco {
+
+ObsOptions &
+obsOptions()
+{
+    static ObsOptions opts;
+    return opts;
+}
+
+namespace {
+
+/** Value of a --key=value argument, or empty when arg is not key. */
+bool
+flagValue(const std::string &arg, const char *key, std::string &out)
+{
+    const std::string prefix = std::string(key) + "=";
+    if (arg.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    out = arg.substr(prefix.size());
+    return true;
+}
+
+} // namespace
+
+bool
+parseObsFlag(const std::string &arg)
+{
+    ObsOptions &o = obsOptions();
+    std::string v;
+    if (flagValue(arg, "--stats-json", v)) {
+        o.statsJsonPath = v;
+        return true;
+    }
+    if (flagValue(arg, "--trace", v)) {
+        o.tracePath = v;
+        return true;
+    }
+    if (flagValue(arg, "--trace-categories", v)) {
+        o.traceCategories = parseTraceCategories(v);
+        return true;
+    }
+    if (flagValue(arg, "--sample-interval", v)) {
+        o.sampleInterval = std::strtoull(v.c_str(), nullptr, 10);
+        return true;
+    }
+    if (flagValue(arg, "--sample-out", v)) {
+        o.samplePath = v;
+        return true;
+    }
+    return false;
+}
+
+void
+obsInitFromEnv()
+{
+    ObsOptions &o = obsOptions();
+    if (const char *v = std::getenv("SMARCO_STATS_JSON"))
+        o.statsJsonPath = v;
+    if (const char *v = std::getenv("SMARCO_TRACE"))
+        o.tracePath = v;
+    if (const char *v = std::getenv("SMARCO_TRACE_CATEGORIES"))
+        o.traceCategories = parseTraceCategories(v);
+    if (const char *v = std::getenv("SMARCO_SAMPLE_INTERVAL"))
+        o.sampleInterval = std::strtoull(v, nullptr, 10);
+    if (const char *v = std::getenv("SMARCO_SAMPLE_OUT"))
+        o.samplePath = v;
+}
+
+namespace {
+
+#if defined(__GLIBC__)
+/**
+ * glibc runs .init_array entries with (argc, argv, envp), so the
+ * flags are picked up before main without touching any binary's
+ * argument handling. Command line wins over environment.
+ */
+__attribute__((constructor)) void
+obsPreMain(int argc, char **argv, char ** /*envp*/)
+{
+    obsInitFromEnv();
+    for (int i = 1; i < argc; ++i)
+        parseObsFlag(argv[i]);
+}
+#else
+__attribute__((constructor)) void
+obsPreMain()
+{
+    obsInitFromEnv();
+}
+#endif
+
+} // namespace
+
+namespace detail {
+
+struct ObsSession::Impl {
+    std::uint32_t nextRun = 0;
+    std::ofstream traceFile;
+    std::unique_ptr<TraceSink> sink;
+    /** run id -> serialised {"run":..} object for the stats file. */
+    std::map<std::uint32_t, std::string> stats;
+    /** run id -> (csv body rows, json run object). */
+    std::map<std::uint32_t, std::pair<std::string, std::string>> samples;
+    std::string sampleHeader;
+    bool finalised = false;
+};
+
+ObsSession &
+ObsSession::instance()
+{
+    static ObsSession session;
+    return session;
+}
+
+ObsSession::Impl *
+ObsSession::impl()
+{
+    if (!impl_)
+        impl_ = new Impl;
+    return impl_;
+}
+
+ObsSession::~ObsSession()
+{
+    finalise();
+    delete impl_;
+    impl_ = nullptr;
+}
+
+std::uint32_t
+ObsSession::beginRun()
+{
+    return ++impl()->nextRun;
+}
+
+TraceSink *
+ObsSession::traceSink()
+{
+    Impl *im = impl();
+    if (im->sink)
+        return im->sink.get();
+    const std::string &path = obsOptions().tracePath;
+    if (path.empty() || im->finalised)
+        return nullptr;
+    im->traceFile.open(path);
+    if (!im->traceFile) {
+        warn("cannot open trace file '%s'; tracing disabled",
+             path.c_str());
+        obsOptions().tracePath.clear();
+        return nullptr;
+    }
+    im->sink = std::make_unique<TraceSink>(im->traceFile);
+    return im->sink.get();
+}
+
+void
+ObsSession::recordStats(std::uint32_t run_id, std::string json_object)
+{
+    impl()->stats[run_id] = std::move(json_object);
+}
+
+void
+ObsSession::recordSamples(std::uint32_t run_id, std::string csv,
+                          std::string json_payload)
+{
+    impl()->samples[run_id] = {std::move(csv), std::move(json_payload)};
+}
+
+void
+ObsSession::setSampleHeader(std::string header)
+{
+    impl()->sampleHeader = std::move(header);
+}
+
+void
+ObsSession::finalise()
+{
+    Impl *im = impl();
+    if (im->finalised)
+        return;
+    im->finalised = true;
+
+    // Trace: destroying the sink writes the JSON footer.
+    im->sink.reset();
+    if (im->traceFile.is_open())
+        im->traceFile.close();
+
+    const ObsOptions &o = obsOptions();
+    if (o.statsWanted() && !im->stats.empty()) {
+        std::ofstream f(o.statsJsonPath);
+        if (!f) {
+            warn("cannot open stats file '%s'", o.statsJsonPath.c_str());
+        } else {
+            f << "{\"runs\":[\n";
+            bool first = true;
+            for (const auto &[id, obj] : im->stats) {
+                f << (first ? "" : ",\n") << obj;
+                first = false;
+            }
+            f << "\n]}\n";
+        }
+    }
+
+    if (!im->samples.empty()) {
+        std::string path = o.samplePath;
+        if (path.empty())
+            path = "samples.csv";
+        const bool as_json =
+            path.size() >= 5 &&
+            path.compare(path.size() - 5, 5, ".json") == 0;
+        std::ofstream f(path);
+        if (!f) {
+            warn("cannot open sample file '%s'", path.c_str());
+        } else if (as_json) {
+            f << "{\"runs\":[\n";
+            bool first = true;
+            for (const auto &[id, payload] : im->samples) {
+                f << (first ? "" : ",\n") << payload.second;
+                first = false;
+            }
+            f << "\n]}\n";
+        } else {
+            f << im->sampleHeader << '\n';
+            for (const auto &[id, payload] : im->samples)
+                f << payload.first;
+        }
+    }
+}
+
+} // namespace detail
+
+} // namespace smarco

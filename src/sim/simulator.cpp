@@ -1,8 +1,38 @@
 #include "sim/simulator.hpp"
 
+#include <sstream>
+
+#include "sim/json_writer.hpp"
 #include "sim/logging.hpp"
+#include "sim/observability.hpp"
 
 namespace smarco {
+
+Simulator::Simulator()
+{
+    const ObsOptions &opts = obsOptions();
+    if (opts.anyWanted()) {
+        auto &session = detail::ObsSession::instance();
+        runId_ = session.beginRun();
+        if (opts.traceWanted()) {
+            if (TraceSink *sink = session.traceSink()) {
+                trace_.enable(sink, opts.traceCategories, runId_);
+                trace_.labelRun(strprintf("run %u", runId_));
+            }
+        }
+        if (opts.samplingWanted())
+            sampler_.setInterval(opts.sampleInterval);
+    }
+    sampler_.setTrace(&trace_);
+    prevLogCycle_ = logCycleSource();
+    setLogCycleSource(&now_);
+}
+
+Simulator::~Simulator()
+{
+    if (logCycleSource() == &now_)
+        setLogCycleSource(prevLogCycle_);
+}
 
 void
 Simulator::addTicking(Ticking *component)
@@ -17,12 +47,16 @@ Simulator::run(Cycle max_cycles)
 {
     stopRequested_ = false;
     finishedIdle_ = false;
+    const Cycle start = now_;
     const Cycle end = now_ + max_cycles;
+    const bool sampling = sampler_.active();
 
     while (now_ < end && !stopRequested_) {
         events_.runUntil(now_);
         for (Ticking *t : ticking_)
             t->tick(now_);
+        if (sampling)
+            sampler_.maybeSample(now_);
 
         // Idle detection: when nothing is in flight, fast-forward to
         // the next event or finish.
@@ -46,7 +80,52 @@ Simulator::run(Cycle max_cycles)
         }
         ++now_;
     }
+
+    trace_.complete(TraceCat::Sim, "run", start, now_);
+    if (runId_ != 0)
+        snapshotObservability();
     return now_;
+}
+
+void
+Simulator::snapshotObservability()
+{
+    const ObsOptions &opts = obsOptions();
+    auto &session = detail::ObsSession::instance();
+
+    if (opts.statsWanted()) {
+        std::ostringstream ss;
+        ss << "{\"run\":" << runId_ << ",\"cycles\":" << now_
+           << ",\"stats\":";
+        stats_.dumpJson(ss);
+        ss << '}';
+        session.recordStats(runId_, ss.str());
+    }
+
+    if (sampler_.active() && !sampler_.times().empty()) {
+        std::string header = "run,cycle";
+        for (const auto &name : sampler_.probeNames())
+            header += ',' + name;
+        session.setSampleHeader(std::move(header));
+
+        std::string body;
+        const auto &times = sampler_.times();
+        const auto &rows = sampler_.rows();
+        for (std::size_t i = 0; i < times.size(); ++i) {
+            body += std::to_string(runId_) + ',' +
+                    std::to_string(times[i]);
+            for (double v : rows[i])
+                body += ',' + json::num(v);
+            body += '\n';
+        }
+
+        std::ostringstream js;
+        js << "{\"run\":" << runId_ << ',';
+        std::ostringstream inner;
+        sampler_.dumpJson(inner);
+        js << inner.str().substr(1);
+        session.recordSamples(runId_, std::move(body), js.str());
+    }
 }
 
 } // namespace smarco

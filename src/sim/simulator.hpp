@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/sampler.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 #include "sim/types.hpp"
 
 namespace smarco {
@@ -46,7 +48,14 @@ class Ticking
 class Simulator
 {
   public:
-    Simulator() = default;
+    /**
+     * Hooks into the process-level observability options: when a
+     * stats/trace/sample output is configured the simulator becomes
+     * one numbered "run" in those files, and the logging layer
+     * prefixes messages with this simulator's cycle while it lives.
+     */
+    Simulator();
+    ~Simulator();
 
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
@@ -63,6 +72,15 @@ class Simulator
     /** Statistics registry shared by all components. */
     StatRegistry &stats() { return stats_; }
 
+    /** Trace event emitter (disabled unless a trace file is set). */
+    TraceManager &trace() { return trace_; }
+
+    /** Interval time-series sampler driven by the run loop. */
+    IntervalSampler &sampler() { return sampler_; }
+
+    /** Run id in the process-wide observability outputs (0 = none). */
+    std::uint32_t obsRunId() const { return runId_; }
+
     /**
      * Run until max_cycles elapse, stop is requested, or the system
      * goes idle (no busy component, empty event queue).
@@ -77,12 +95,19 @@ class Simulator
     bool finishedIdle() const { return finishedIdle_; }
 
   private:
+    /** Record this run's stats/samples in the process outputs. */
+    void snapshotObservability();
+
     Cycle now_ = 0;
     bool stopRequested_ = false;
     bool finishedIdle_ = false;
     std::vector<Ticking *> ticking_;
     EventQueue events_;
     StatRegistry stats_;
+    TraceManager trace_;
+    IntervalSampler sampler_;
+    std::uint32_t runId_ = 0;
+    const Cycle *prevLogCycle_ = nullptr;
 };
 
 } // namespace smarco

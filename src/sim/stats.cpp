@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/json_writer.hpp"
 #include "sim/logging.hpp"
 
 namespace smarco {
@@ -22,6 +23,28 @@ Stat::print(std::ostream &os) const
     os << '\n';
 }
 
+void
+Stat::printJsonHead(std::ostream &os, const char *kind) const
+{
+    os << "{\"kind\":\"" << kind << "\",\"value\":"
+       << json::num(value()) << ",\"desc\":" << json::str(desc_);
+}
+
+void
+Stat::printJson(std::ostream &os) const
+{
+    printJsonHead(os, "scalar");
+    os << '}';
+}
+
+void
+Average::printJson(std::ostream &os) const
+{
+    printJsonHead(os, "average");
+    os << ",\"sum\":" << json::num(sum_)
+       << ",\"count\":" << json::num(count_) << '}';
+}
+
 Histogram::Histogram(StatRegistry &registry, std::string name,
                      std::string desc, double lo, double hi,
                      std::size_t buckets)
@@ -38,6 +61,8 @@ Histogram::Histogram(StatRegistry &registry, std::string name,
 void
 Histogram::sample(double v, std::uint64_t weight)
 {
+    if (weight == 0)
+        return;
     if (count_ == 0) {
         min_ = v;
         max_ = v;
@@ -100,6 +125,23 @@ Histogram::print(std::ostream &os) const
 }
 
 void
+Histogram::printJson(std::ostream &os) const
+{
+    printJsonHead(os, "histogram");
+    os << ",\"count\":" << count_
+       << ",\"stddev\":" << json::num(stddev())
+       << ",\"min\":" << json::num(min_)
+       << ",\"max\":" << json::num(max_)
+       << ",\"lo\":" << json::num(lo_)
+       << ",\"hi\":" << json::num(hi_)
+       << ",\"bucketWidth\":" << json::num(width_)
+       << ",\"buckets\":[";
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        os << (i ? "," : "") << buckets_[i];
+    os << "]}";
+}
+
+void
 StatRegistry::add(Stat *stat)
 {
     auto [it, inserted] = stats_.emplace(stat->name(), stat);
@@ -143,11 +185,48 @@ StatRegistry::resetAll()
         stat->reset();
 }
 
+double
+StatRegistry::total(const std::string &prefix,
+                    const std::string &suffix) const
+{
+    double sum = 0.0;
+    for (auto it = stats_.lower_bound(prefix); it != stats_.end(); ++it) {
+        const std::string &n = it->first;
+        if (n.compare(0, prefix.size(), prefix) != 0)
+            break;
+        if (n.size() >= suffix.size() &&
+            n.compare(n.size() - suffix.size(), suffix.size(),
+                      suffix) == 0)
+            sum += it->second->value();
+    }
+    return sum;
+}
+
 void
 StatRegistry::dump(std::ostream &os) const
 {
     for (auto &[name, stat] : stats_)
         stat->print(os);
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    os << '{';
+    bool first = true;
+    for (auto &[name, stat] : stats_) {
+        os << (first ? "" : ",") << '\n' << json::str(name) << ':';
+        stat->printJson(os);
+        first = false;
+    }
+    os << "\n}";
+}
+
+void
+StatRegistry::missingTyped(const std::string &name) const
+{
+    panic("stat '%s' not registered with the requested type",
+          name.c_str());
 }
 
 } // namespace smarco

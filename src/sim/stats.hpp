@@ -42,6 +42,17 @@ class Stat
     /** One-or-more-line human readable dump. */
     virtual void print(std::ostream &os) const;
 
+    /**
+     * JSON value object of this stat (everything except the name),
+     * e.g. {"kind":"scalar","value":3,"desc":"..."}. Every concrete
+     * kind includes at least "kind", "value" and "desc".
+     */
+    virtual void printJson(std::ostream &os) const;
+
+  protected:
+    /** Opening fields shared by every printJson override. */
+    void printJsonHead(std::ostream &os, const char *kind) const;
+
   private:
     std::string name_;
     std::string desc_;
@@ -79,6 +90,7 @@ class Average : public Stat
     double sum() const { return sum_; }
     double count() const { return count_; }
     void reset() override { sum_ = 0.0; count_ = 0.0; }
+    void printJson(std::ostream &os) const override;
 
   private:
     double sum_ = 0.0;
@@ -88,6 +100,12 @@ class Average : public Stat
 /**
  * Linear-bucket histogram over [lo, hi) with moment tracking.
  * Samples outside the range land in saturating edge buckets.
+ *
+ * Weights are frequency weights: sample(v, w) is equivalent to
+ * sampling v w times, so count() is the total weight and mean,
+ * stddev and the buckets are all weight-scaled. A weight of zero is
+ * a complete no-op — it does not touch min/max, the moments or the
+ * buckets.
  */
 class Histogram : public Stat
 {
@@ -102,6 +120,7 @@ class Histogram : public Stat
     double value() const override;
     void reset() override;
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
 
     std::uint64_t count() const { return count_; }
     double minSample() const { return min_; }
@@ -141,8 +160,34 @@ class StatRegistry
     /** Look up and panic when absent (for tests/harnesses). */
     Stat &get(const std::string &name) const;
 
+    /**
+     * Typed lookup; nullptr when absent or of a different kind.
+     * Harnesses use this instead of casting or name scraping.
+     */
+    template <typename T>
+    T *findAs(const std::string &name) const
+    { return dynamic_cast<T *>(find(name)); }
+
+    /** Typed lookup that panics when absent or of the wrong kind. */
+    template <typename T>
+    T &getAs(const std::string &name) const
+    {
+        T *s = findAs<T>(name);
+        if (!s)
+            missingTyped(name);
+        return *s;
+    }
+
     /** All stats whose name starts with prefix, in name order. */
     std::vector<Stat *> findPrefix(const std::string &prefix) const;
+
+    /**
+     * Sum of value() over every stat whose name starts with prefix
+     * and ends with suffix (e.g. total("chip.core", ".slotsUsed")
+     * aggregates one per-core counter across the chip).
+     */
+    double total(const std::string &prefix,
+                 const std::string &suffix) const;
 
     /** Reset every registered stat. */
     void resetAll();
@@ -150,7 +195,17 @@ class StatRegistry
     /** Dump every stat, one per line, in name order. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Dump every stat as one JSON object keyed by name, in name
+     * order. Histograms include their full buckets and moments.
+     */
+    void dumpJson(std::ostream &os) const;
+
+    std::size_t size() const { return stats_.size(); }
+
   private:
+    [[noreturn]] void missingTyped(const std::string &name) const;
+
     std::map<std::string, Stat *> stats_;
 };
 
