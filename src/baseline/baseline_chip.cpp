@@ -138,6 +138,7 @@ BaselineChip::spawnWorkers(std::uint32_t num_threads,
         ++liveThreads_;
         ++startingCount_;
     }
+    sim_.wake(this);
 }
 
 void

@@ -117,6 +117,9 @@ class BaselineChip : public Ticking
 
     void tick(Cycle now) override;
     bool busy() const override;
+    /** A chip with no live software thread sleeps until spawn. */
+    Cycle nextActiveCycle(Cycle now) const override
+    { return liveThreads_ == 0 ? kNoCycle : now + 1; }
 
     BaselineMetrics metrics() const;
     const BaselineParams &params() const { return params_; }

@@ -109,6 +109,7 @@ TcgCore::attachTask(const workloads::TaskSpec &task,
             ctx.state = State::Running;
         else
             ctx.state = State::Ready;
+        sim_.wake(this);
         return true;
     }
     return false;

@@ -102,6 +102,9 @@ class TcgCore : public Ticking
 
     void tick(Cycle now) override;
     bool busy() const override;
+    /** Idle cores (no live context) sleep until a task attaches. */
+    Cycle nextActiveCycle(Cycle now) const override
+    { return liveContexts() == 0 ? kNoCycle : now + 1; }
 
     CoreId id() const { return id_; }
     const CoreParams &params() const { return params_; }

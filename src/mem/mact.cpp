@@ -1,5 +1,6 @@
 #include "mem/mact.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <utility>
 
@@ -101,6 +102,7 @@ Mact::collect(const MemRequest &req, Cycle now)
             line.vector |= bits;
             line.requests.push_back(req);
             ++collected_;
+            sim_.wake(this);
             if (sim_.trace().enabled(TraceCat::Mem))
                 sim_.trace().instant(TraceCat::Mem, "mact.hit", now,
                                      req.core);
@@ -128,6 +130,7 @@ Mact::collect(const MemRequest &req, Cycle now)
     slot->requests.push_back(req);
     ++used_;
     ++collected_;
+    sim_.wake(this);
     if (sim_.trace().enabled(TraceCat::Mem))
         sim_.trace().instant(TraceCat::Mem, "mact.alloc", now,
                              req.core);
@@ -149,6 +152,20 @@ Mact::tick(Cycle now)
             flushLine(line, "deadline");
         }
     }
+}
+
+Cycle
+Mact::nextActiveCycle(Cycle now) const
+{
+    if (used_ == 0)
+        return kNoCycle;
+    Cycle earliest = kNoCycle;
+    for (const auto &line : table_) {
+        if (line.valid)
+            earliest = std::min(earliest,
+                                line.firstCollect + params_.threshold);
+    }
+    return std::max(earliest, now + 1);
 }
 
 void

@@ -73,6 +73,8 @@ class Mact : public Ticking
     /** Deadline scan. */
     void tick(Cycle now) override;
     bool busy() const override { return used_ > 0; }
+    /** Sleep until the earliest line deadline; collect() wakes us. */
+    Cycle nextActiveCycle(Cycle now) const override;
 
     /** Force-flush every occupied line (end of run / drain). */
     void flushAll();

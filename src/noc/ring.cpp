@@ -106,6 +106,7 @@ Ring::inject(std::uint32_t src_stop, std::uint32_t dst_stop,
         s.inject[dir].push_back(std::move(t));
     ++inFlight_;
     ++injected_;
+    sim_.wake(this);
     if (sim_.trace().enabled(TraceCat::Noc))
         sim_.trace().instant(
             TraceCat::Noc, params_.name + ".inject", sim_.now(),
@@ -203,6 +204,11 @@ Ring::eject(Stop &s, std::uint32_t stop_idx, Cycle now)
 void
 Ring::tick(Cycle now)
 {
+    // Empty ring: a provable no-op, so the kernel may skip it (the
+    // cycles/occupancy stats deliberately cover loaded cycles only —
+    // identical in fast-forward and tick-every-cycle mode).
+    if (inFlight_ == 0)
+        return;
     ++cyclesTicked_;
 
     std::uint64_t queued = 0;
@@ -210,8 +216,6 @@ Ring::tick(Cycle now)
         for (std::uint32_t d = 0; d < 2; ++d)
             queued += s.through[d].size() + s.inject[d].size();
     occupancy_.sample(static_cast<double>(queued));
-    if (queued == 0)
-        return;
 
     // Phase 1: ejection at every stop.
     for (std::uint32_t i = 0; i < stops_.size(); ++i)

@@ -74,6 +74,9 @@ class Ring : public Ticking
 
     void tick(Cycle now) override;
     bool busy() const override { return inFlight_ > 0; }
+    /** Quiet rings sleep; inject() wakes them. */
+    Cycle nextActiveCycle(Cycle now) const override
+    { return inFlight_ > 0 ? now + 1 : kNoCycle; }
 
     /** Hop count from a to b along the given direction. */
     std::uint32_t distance(std::uint32_t a, std::uint32_t b,

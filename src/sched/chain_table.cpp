@@ -1,5 +1,6 @@
 #include "sched/chain_table.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "sim/logging.hpp"
@@ -51,7 +52,19 @@ TaskChainTable::insert(const workloads::TaskSpec &task)
     ++used_;
     if (task.realtime)
         ++highCount_;
+    if (used_ == 1 || task.release < minRelease_)
+        minRelease_ = task.release;
     return true;
+}
+
+void
+TaskChainTable::recomputeMinRelease()
+{
+    minRelease_ = kNoCycle;
+    for (std::int32_t i = highHead_; i != kNil; i = ram_[i].next)
+        minRelease_ = std::min(minRelease_, ram_[i].task.release);
+    for (std::int32_t i = normalHead_; i != kNil; i = ram_[i].next)
+        minRelease_ = std::min(minRelease_, ram_[i].task.release);
 }
 
 workloads::TaskSpec
@@ -73,6 +86,8 @@ TaskChainTable::detach(std::int32_t *head, std::int32_t *tail,
     ram_[idx].next = freeHead_;
     freeHead_ = idx;
     --used_;
+    if (task.release == minRelease_)
+        recomputeMinRelease();
     return task;
 }
 

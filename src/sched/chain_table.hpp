@@ -55,6 +55,15 @@ class TaskChainTable
     { return static_cast<std::uint32_t>(ram_.size()); }
     std::uint32_t highCount() const { return highCount_; }
 
+    /**
+     * Smallest release time of any queued task (kNoCycle when empty).
+     * Lets the scheduler sleep instead of polling while everything
+     * queued is released in the future. O(1) amortised: maintained on
+     * insert, recomputed on detach of the current minimum.
+     */
+    Cycle earliestRelease() const
+    { return used_ > 0 ? minRelease_ : kNoCycle; }
+
   private:
     static constexpr std::int32_t kNil = -1;
 
@@ -66,6 +75,8 @@ class TaskChainTable
     /** Detach the entry after prev (or the head) from a chain. */
     workloads::TaskSpec detach(std::int32_t *head, std::int32_t *tail,
                                std::int32_t prev);
+    /** Full walk of both class chains to refresh minRelease_. */
+    void recomputeMinRelease();
     std::optional<workloads::TaskSpec> popFrom(std::int32_t *head,
                                                std::int32_t *tail,
                                                Cycle now,
@@ -77,6 +88,7 @@ class TaskChainTable
     std::int32_t highHead_ = kNil, highTail_ = kNil;
     std::uint32_t used_ = 0;
     std::uint32_t highCount_ = 0;
+    Cycle minRelease_ = kNoCycle;
 };
 
 } // namespace smarco::sched

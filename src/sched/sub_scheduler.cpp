@@ -1,5 +1,6 @@
 #include "sched/sub_scheduler.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hpp"
@@ -53,6 +54,7 @@ SubScheduler::submit(const workloads::TaskSpec &task)
     if (!table_.insert(task))
         fatal("sub-scheduler %u: chain table overflow (capacity %u)",
               id_, table_.capacity());
+    sim_.wake(this);
 }
 
 std::int32_t
@@ -90,6 +92,9 @@ SubScheduler::dispatchOne(const workloads::TaskSpec &task, Cycle now)
 
     const CoreId core_id = core->id();
     auto attach = [this, task, core, slot, now]() {
+        // Staging completes through DMA callbacks while the scheduler
+        // may be asleep; reserved_/table_ change here, so re-arm.
+        sim_.wake(this);
         --reserved_[slot];
         isa::StreamPtr stream = makeStream_
             ? makeStream_(task, core->id())
@@ -119,6 +124,9 @@ SubScheduler::dispatchOne(const workloads::TaskSpec &task, Cycle now)
                                                    : "false"));
                 exits_.push_back(exit);
                 --inFlight_;
+                // A context freed up: a sleeping scheduler blocked on
+                // pickCore() can place the next task again.
+                sim_.wake(this);
                 if (exitCb_)
                     exitCb_(exit, t);
             });
@@ -144,6 +152,8 @@ SubScheduler::tick(Cycle now)
             return;
         if (pickCore() < 0)
             return;
+        if (table_.earliestRelease() > now)
+            return; // everything queued releases in the future
         auto task = table_.popNext(now, /*laxity_aware=*/true);
         if (!task)
             return;
@@ -192,6 +202,19 @@ bool
 SubScheduler::busy() const
 {
     return !table_.empty() || inFlight_ > 0;
+}
+
+Cycle
+SubScheduler::nextActiveCycle(Cycle now) const
+{
+    if (params_.policy == SchedPolicy::SoftwareDeadline)
+        return std::max(now + 1, nextQuantum_);
+    if (table_.empty())
+        return kNoCycle; // submit() wakes us
+    if (pickCore() < 0)
+        return kNoCycle; // a task exit frees a context and wakes us
+    return std::max({now + 1, nextDecision_,
+                     table_.earliestRelease()});
 }
 
 std::uint64_t

@@ -88,6 +88,15 @@ class SubScheduler : public Ticking
 
     void tick(Cycle now) override;
     bool busy() const override;
+    /**
+     * HardwareLaxity: sleep when the table is empty or no core has a
+     * free context (submit() and task exits wake us), else until the
+     * decision latency and the earliest release both elapse.
+     * SoftwareDeadline: sleep until the next quantum boundary (the
+     * boundary tick runs even with an empty table, like the software
+     * loop it models).
+     */
+    Cycle nextActiveCycle(Cycle now) const override;
 
     /** Queued + staged-but-unfinished tasks (load metric). */
     std::uint64_t load() const;

@@ -56,6 +56,8 @@ num(double v)
 {
     if (!std::isfinite(v))
         return "null";
+    if (v == 0.0)
+        return "0"; // never-sampled stats must diff stably: no "-0"
     // %.17g round-trips doubles; trim to a compact form first.
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.12g", v);

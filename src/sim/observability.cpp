@@ -58,6 +58,10 @@ parseObsFlag(const std::string &arg)
         o.samplePath = v;
         return true;
     }
+    if (arg == "--no-fast-forward") {
+        o.noFastForward = true;
+        return true;
+    }
     return false;
 }
 
@@ -75,6 +79,8 @@ obsInitFromEnv()
         o.sampleInterval = std::strtoull(v, nullptr, 10);
     if (const char *v = std::getenv("SMARCO_SAMPLE_OUT"))
         o.samplePath = v;
+    if (const char *v = std::getenv("SMARCO_NO_FAST_FORWARD"))
+        o.noFastForward = *v != '\0' && *v != '0';
 }
 
 namespace {

@@ -13,6 +13,7 @@
  *   --trace-categories=LIST  SMARCO_TRACE_CATEGORIES  e.g. core,noc
  *   --sample-interval=N      SMARCO_SAMPLE_INTERVAL   cycles
  *   --sample-out=PATH        SMARCO_SAMPLE_OUT        .csv or .json
+ *   --no-fast-forward        SMARCO_NO_FAST_FORWARD   tick every cycle
  *
  * Each Simulator constructed while an output is configured becomes
  * one "run": its stats land as one object in the stats JSON, its
@@ -38,6 +39,9 @@ struct ObsOptions {
     std::uint32_t traceCategories = 0xffffffffu; ///< kAllTraceCats
     Cycle sampleInterval = 0;
     std::string samplePath; ///< default: derived "<binary>.samples.csv"
+    /** Disable the quiescence fast-forward kernel (escape hatch /
+     *  slow reference mode for the golden-stats harness). */
+    bool noFastForward = false;
 
     bool statsWanted() const { return !statsJsonPath.empty(); }
     bool traceWanted() const { return !tracePath.empty(); }

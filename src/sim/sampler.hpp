@@ -53,6 +53,9 @@ class IntervalSampler
     /** Force a snapshot at the given cycle (advances the boundary). */
     void sampleAt(Cycle now);
 
+    /** Next boundary cycle a clock skip must not jump across. */
+    Cycle nextBoundary() const { return nextAt_; }
+
     const std::vector<Cycle> &times() const { return times_; }
     const std::vector<std::vector<double>> &rows() const
     { return rows_; }

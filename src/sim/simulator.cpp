@@ -11,6 +11,7 @@ namespace smarco {
 Simulator::Simulator()
 {
     const ObsOptions &opts = obsOptions();
+    fastForward_ = !opts.noFastForward;
     if (opts.anyWanted()) {
         auto &session = detail::ObsSession::instance();
         runId_ = session.beginRun();
@@ -39,7 +40,32 @@ Simulator::addTicking(Ticking *component)
 {
     if (!component)
         panic("Simulator::addTicking: null component");
+    if (component->simOwner_)
+        panic("Simulator::addTicking: component registered twice");
+    component->simOwner_ = this;
+    component->simIndex_ =
+        static_cast<std::uint32_t>(ticking_.size());
     ticking_.push_back(component);
+    active_.push_back(1);
+}
+
+void
+Simulator::advanceTo(Cycle target)
+{
+    if (target < now_ + 1)
+        target = now_ + 1;
+    if (sampler_.active()) {
+        // Interval probes must fire at exact boundaries: land on the
+        // boundary cycle and let the run loop sample it normally.
+        const Cycle boundary = sampler_.nextBoundary();
+        if (boundary > now_ && boundary < target)
+            target = boundary;
+    }
+    if (target > now_ + 1) {
+        ++fastForwards_;
+        cyclesSkipped_ += target - now_ - 1;
+    }
+    now_ = target;
 }
 
 Cycle
@@ -50,16 +76,51 @@ Simulator::run(Cycle max_cycles)
     const Cycle start = now_;
     const Cycle end = now_ + max_cycles;
     const bool sampling = sampler_.active();
+    const std::size_t n = ticking_.size();
+
+    // Components stimulated between runs (direct submit/attach/spawn
+    // calls) have already woken themselves; re-arming everything once
+    // per run() additionally shields against stimulus paths that
+    // forget to wake — one round of provable no-op ticks at worst.
+    for (std::size_t i = 0; i < n; ++i)
+        active_[i] = 1;
 
     while (now_ < end && !stopRequested_) {
+        while (!wakeHeap_.empty() && wakeHeap_.top().first <= now_) {
+            active_[wakeHeap_.top().second] = 1;
+            wakeHeap_.pop();
+        }
         events_.runUntil(now_);
-        for (Ticking *t : ticking_)
-            t->tick(now_);
+
+        if (fastForward_) {
+            // Tick the active set only; a component woken mid-cycle
+            // by an earlier-indexed one is picked up immediately,
+            // matching the tick-every-cycle order.
+            for (std::size_t i = 0; i < n; ++i)
+                if (active_[i])
+                    ticking_[i]->tick(now_);
+            // Re-arm or retire based on each component's hint.
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!active_[i])
+                    continue;
+                const Cycle next =
+                    ticking_[i]->nextActiveCycle(now_);
+                if (next <= now_ + 1)
+                    continue;
+                active_[i] = 0;
+                if (next != kNoCycle)
+                    wakeHeap_.emplace(
+                        next, static_cast<std::uint32_t>(i));
+            }
+        } else {
+            for (Ticking *t : ticking_)
+                t->tick(now_);
+        }
         if (sampling)
             sampler_.maybeSample(now_);
 
         // Idle detection: when nothing is in flight, fast-forward to
-        // the next event or finish.
+        // the next event or finish. Identical in both kernel modes.
         bool any_busy = false;
         for (Ticking *t : ticking_) {
             if (t->busy()) {
@@ -75,8 +136,34 @@ Simulator::run(Cycle max_cycles)
                 break;
             }
             // Jump the clock to just before the next event fires.
-            now_ = next > now_ + 1 ? next : now_ + 1;
+            advanceTo(next);
             continue;
+        }
+
+        if (fastForward_) {
+            // Quiescence fast-forward: with every ticking component
+            // asleep, no state can change until the earliest wake-up
+            // or event, so the skipped cycles are provably no-ops.
+            bool any_active = false;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (active_[i]) {
+                    any_active = true;
+                    break;
+                }
+            }
+            if (!any_active) {
+                Cycle target = events_.nextEventCycle();
+                if (!wakeHeap_.empty() &&
+                    wakeHeap_.top().first < target)
+                    target = wakeHeap_.top().first;
+                // Nothing scheduled at all: the system is frozen
+                // (busy but stuck) — run out the clock like the
+                // per-cycle mode would.
+                if (target > end)
+                    target = end;
+                advanceTo(target);
+                continue;
+            }
         }
         ++now_;
     }

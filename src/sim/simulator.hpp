@@ -9,7 +9,10 @@
  */
 #pragma once
 
+#include <functional>
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -19,6 +22,8 @@
 #include "sim/types.hpp"
 
 namespace smarco {
+
+class Simulator;
 
 /**
  * Interface for components evaluated once per simulated cycle.
@@ -39,6 +44,27 @@ class Ticking
      * simulator stops early.
      */
     virtual bool busy() const { return true; }
+
+    /**
+     * Quiescence hint: the earliest future cycle at which tick() might
+     * do something, assuming no external stimulus arrives in between.
+     * Contract: every tick() between now and the returned cycle must
+     * be a provable no-op (no state change, no stats, no RNG draws),
+     * so the fast-forward kernel may skip it. Return now + 1 (the
+     * default) to stay on the per-cycle path, a future cycle for a
+     * known timer (deadline, quantum boundary), or kNoCycle to sleep
+     * until an external Simulator::wake(). A component whose state is
+     * changed from outside tick() (inject/submit/attach/...) must
+     * wake() itself there; spurious wakes are harmless by the no-op
+     * contract.
+     */
+    virtual Cycle nextActiveCycle(Cycle now) const { return now + 1; }
+
+  private:
+    friend class Simulator;
+    /** Registration slot in the owning simulator's active set. */
+    std::uint32_t simIndex_ = 0;
+    Simulator *simOwner_ = nullptr;
 };
 
 /**
@@ -94,14 +120,60 @@ class Simulator
     /** True when the last run() ended because everything went idle. */
     bool finishedIdle() const { return finishedIdle_; }
 
+    /**
+     * Return a sleeping component to the active set (idempotent; a
+     * no-op for components registered to another simulator). Called
+     * by components from their stimulus entry points.
+     */
+    void wake(Ticking *component)
+    {
+        if (component && component->simOwner_ == this)
+            active_[component->simIndex_] = 1;
+    }
+
+    /**
+     * Enable/disable quiescence-aware fast-forwarding (default on,
+     * unless --no-fast-forward / SMARCO_NO_FAST_FORWARD is set). When
+     * off, every registered component is ticked every cycle — the
+     * slow reference mode the golden-stats harness compares against.
+     */
+    void setFastForward(bool on) { fastForward_ = on; }
+    bool fastForward() const { return fastForward_; }
+
+    /** Cycles skipped by quiescence fast-forwards (kernel metric;
+     *  deliberately not a registered Stat so both kernel modes dump
+     *  identical stats JSON). */
+    std::uint64_t cyclesSkipped() const { return cyclesSkipped_; }
+    /** Number of multi-cycle jumps the kernel performed. */
+    std::uint64_t fastForwards() const { return fastForwards_; }
+
   private:
     /** Record this run's stats/samples in the process outputs. */
     void snapshotObservability();
 
+    /**
+     * Jump the clock forward to target (at least one cycle), clamped
+     * to the next sampling boundary so interval probes still fire at
+     * exact cycles across a skip.
+     */
+    void advanceTo(Cycle target);
+
     Cycle now_ = 0;
     bool stopRequested_ = false;
     bool finishedIdle_ = false;
+    bool fastForward_ = true;
     std::vector<Ticking *> ticking_;
+    /** Parallel to ticking_: 1 when the component must be ticked. */
+    std::vector<std::uint8_t> active_;
+    /** (wake cycle, registration index); entries may be stale — a
+     *  popped entry merely re-activates the component, and spurious
+     *  ticks are no-ops by the Ticking contract. */
+    std::priority_queue<std::pair<Cycle, std::uint32_t>,
+                        std::vector<std::pair<Cycle, std::uint32_t>>,
+                        std::greater<>>
+        wakeHeap_;
+    std::uint64_t cyclesSkipped_ = 0;
+    std::uint64_t fastForwards_ = 0;
     EventQueue events_;
     StatRegistry stats_;
     TraceManager trace_;

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Golden-stats harness locking down the quiescence-aware kernel.
+ *
+ * Two layers of protection:
+ *  1. Mode equivalence — every covered config is run once with
+ *     fast-forward enabled and once in forced tick-every-cycle mode;
+ *     the StatRegistry JSON dumps must be byte-identical. A skipped
+ *     cycle that would have mutated any stat shows up here.
+ *  2. Checked-in snapshots — the fast-forward dump of one SmarCo and
+ *     one baseline config is compared against golden JSON files under
+ *     tests/golden/. Regeneration is a deliberate act:
+ *
+ *         ./tests/test_golden_stats --update-golden
+ *     or  SMARCO_UPDATE_GOLDEN=1 ctest -L golden
+ *
+ *     rewrites the snapshots in the source tree; review the diff
+ *     before committing.
+ *
+ * This file carries its own main() (not gtest_main) so it can accept
+ * the --update-golden flag.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baseline/baseline_chip.hpp"
+#include "chip/chip_config.hpp"
+#include "chip/smarco_chip.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "workloads/profile.hpp"
+#include "workloads/task.hpp"
+
+using namespace smarco;
+
+namespace {
+
+bool update_golden = false;
+
+std::string
+goldenPath(const char *file)
+{
+    return std::string(SMARCO_GOLDEN_DIR) + "/" + file;
+}
+
+std::string
+dumpStats(Simulator &sim)
+{
+    std::ostringstream os;
+    sim.stats().dumpJson(os);
+    return os.str();
+}
+
+/** The covered SmarCo config: 1 sub-ring x 4 cores, mixed release
+ *  times so the run has real idle gaps for fast-forward to skip. */
+std::string
+smarcoRun(bool fast_forward)
+{
+    Simulator sim;
+    sim.setFastForward(fast_forward);
+    chip::SmarcoChip chip(sim, chip::ChipConfig::scaled(1, 4));
+    workloads::TaskSetParams tp;
+    tp.count = 12;
+    tp.seed = 42;
+    tp.releaseSpan = 100'000;
+    chip.submit(workloads::makeTaskSet(
+        workloads::htcProfile("wordcount"), tp));
+    chip.runUntilDone(100'000'000);
+    return dumpStats(sim);
+}
+
+/** The covered baseline config: 4 cores, shrunken LLC for speed. */
+std::string
+baselineRun(bool fast_forward)
+{
+    Simulator sim;
+    sim.setFastForward(fast_forward);
+    baseline::BaselineParams bp;
+    bp.numCores = 4;
+    bp.llc = mem::CacheParams{"llc", 4 * 1024 * 1024, 16, 64, 38};
+    baseline::BaselineChip chip(sim, bp);
+    workloads::TaskSetParams tp;
+    tp.count = 12;
+    tp.seed = 42;
+    chip.spawnWorkers(8, workloads::makeTaskSet(
+                             workloads::htcProfile("search"), tp));
+    sim.run(200'000'000);
+    return dumpStats(sim);
+}
+
+void
+expectIdentical(const std::string &a, const std::string &b,
+                const char *what)
+{
+    if (a == b) {
+        SUCCEED();
+        return;
+    }
+    std::size_t i = 0;
+    while (i < a.size() && i < b.size() && a[i] == b[i])
+        ++i;
+    const std::size_t from = i > 40 ? i - 40 : 0;
+    FAIL() << what << " diverges at byte " << i << ":\n  A: ..."
+           << a.substr(from, 100) << "\n  B: ..."
+           << b.substr(from, 100);
+}
+
+void
+checkGolden(const std::string &actual, const char *file)
+{
+    const std::string path = goldenPath(file);
+    if (update_golden) {
+        std::ofstream out(path, std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        GTEST_SKIP() << "golden snapshot regenerated: " << path;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — regenerate with --update-golden";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    expectIdentical(buf.str(), actual, file);
+}
+
+} // namespace
+
+TEST(GoldenStats, FastForwardMatchesForcedModeSmarco)
+{
+    expectIdentical(smarcoRun(true), smarcoRun(false),
+                    "smarco fast-forward vs forced dump");
+}
+
+TEST(GoldenStats, FastForwardMatchesForcedModeBaseline)
+{
+    expectIdentical(baselineRun(true), baselineRun(false),
+                    "baseline fast-forward vs forced dump");
+}
+
+TEST(GoldenStats, SmarcoSnapshotMatchesGolden)
+{
+    checkGolden(smarcoRun(true), "smarco_scaled_1x4_wordcount.json");
+}
+
+TEST(GoldenStats, BaselineSnapshotMatchesGolden)
+{
+    checkGolden(baselineRun(true), "baseline_4core_search.json");
+}
+
+TEST(GoldenStats, UnsampledStatsSerializeExplicitZeros)
+{
+    // Stats that are registered but never sampled must still appear
+    // in the dump with explicit zero values — absent keys would make
+    // golden diffs depend on which paths a workload happened to hit.
+    StatRegistry reg;
+    Scalar s(reg, "idle.counter", "never incremented");
+    Average a(reg, "idle.average", "never sampled");
+    Histogram h(reg, "idle.hist", "never sampled", 0.0, 10.0, 2);
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string expected =
+        "{\n"
+        "\"idle.average\":{\"kind\":\"average\",\"value\":0,"
+        "\"desc\":\"never sampled\",\"sum\":0,\"count\":0},\n"
+        "\"idle.counter\":{\"kind\":\"scalar\",\"value\":0,"
+        "\"desc\":\"never incremented\"},\n"
+        "\"idle.hist\":{\"kind\":\"histogram\",\"value\":0,"
+        "\"desc\":\"never sampled\",\"count\":0,\"stddev\":0,"
+        "\"min\":0,\"max\":0,\"lo\":0,\"hi\":10,\"bucketWidth\":5,"
+        "\"buckets\":[0,0]}\n"
+        "}";
+    EXPECT_EQ(os.str(), expected);
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--update-golden")
+            update_golden = true;
+    if (const char *v = std::getenv("SMARCO_UPDATE_GOLDEN"))
+        update_golden = *v != '\0' && *v != '0';
+    return RUN_ALL_TESTS();
+}

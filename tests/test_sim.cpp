@@ -138,6 +138,148 @@ TEST(Simulator, RequestStopEndsRun)
     EXPECT_LE(end, 8u);
 }
 
+namespace {
+
+/**
+ * Acts once every `period` cycles and sleeps in between via the
+ * nextActiveCycle hint; ticks outside the boundary are no-ops.
+ */
+struct PeriodicTicker : Ticking {
+    PeriodicTicker(Cycle period, int n) : period(period), actsLeft(n) {}
+    void
+    tick(Cycle now) override
+    {
+        ++ticks;
+        if (actsLeft > 0 && now > 0 && now % period == 0) {
+            --actsLeft;
+            ++acts;
+        }
+    }
+    bool busy() const override { return actsLeft > 0; }
+    Cycle
+    nextActiveCycle(Cycle now) const override
+    {
+        if (actsLeft == 0)
+            return kNoCycle;
+        return (now / period + 1) * period;
+    }
+    Cycle period;
+    int actsLeft;
+    std::uint64_t ticks = 0;
+    int acts = 0;
+};
+
+/** Sleeps until an external wake(); then consumes one token per tick. */
+struct WakeableTicker : Ticking {
+    void
+    tick(Cycle) override
+    {
+        ++ticks;
+        if (tokens > 0)
+            --tokens;
+    }
+    bool busy() const override { return tokens > 0; }
+    Cycle
+    nextActiveCycle(Cycle now) const override
+    { return tokens > 0 ? now + 1 : kNoCycle; }
+    int tokens = 0;
+    std::uint64_t ticks = 0;
+};
+
+} // namespace
+
+TEST(FastForward, SkipsQuiescentCyclesOnTimerHints)
+{
+    Simulator sim;
+    PeriodicTicker t(100, 9);
+    sim.addTicking(&t);
+    const Cycle end = sim.run(100000);
+    EXPECT_EQ(t.acts, 9);
+    EXPECT_TRUE(sim.finishedIdle());
+    EXPECT_EQ(end, 901u); // one idle cycle past the last act at 900
+    // The kernel must have executed only the boundary cycles (plus
+    // cycle 0 and the final idle check), not all 900.
+    EXPECT_LE(t.ticks, 12u);
+    EXPECT_GT(sim.cyclesSkipped(), 800u);
+    EXPECT_GE(sim.fastForwards(), 9u);
+}
+
+TEST(FastForward, DisabledModeTicksEveryCycle)
+{
+    Simulator sim;
+    sim.setFastForward(false);
+    PeriodicTicker t(100, 9);
+    sim.addTicking(&t);
+    const Cycle end = sim.run(100000);
+    EXPECT_EQ(t.acts, 9);
+    EXPECT_EQ(end, 901u); // same simulated timeline as fast-forward
+    EXPECT_EQ(t.ticks, 901u);
+    EXPECT_EQ(sim.cyclesSkipped(), 0u);
+}
+
+TEST(FastForward, WakeReactivatesSleepingComponent)
+{
+    Simulator sim;
+    WakeableTicker t;
+    sim.addTicking(&t);
+    sim.events().schedule(5000, [&] {
+        t.tokens = 3;
+        sim.wake(&t);
+    });
+    const Cycle end = sim.run(100000);
+    EXPECT_EQ(t.tokens, 0);
+    EXPECT_TRUE(sim.finishedIdle());
+    // Woken at 5000, drains 3 tokens, idles one cycle later.
+    EXPECT_EQ(end, 5003u);
+    // One arming tick at cycle 0, then only the post-wake cycles.
+    EXPECT_LE(t.ticks, 5u);
+}
+
+TEST(FastForward, WakeOnForeignSimulatorIsIgnored)
+{
+    Simulator a, b;
+    WakeableTicker t;
+    a.addTicking(&t);
+    b.wake(&t); // not registered with b: must be a safe no-op
+    a.wake(&t);
+    SUCCEED();
+}
+
+TEST(FastForward, SamplerBoundariesSurviveSkips)
+{
+    Simulator sim;
+    PeriodicTicker t(1000, 2);
+    sim.addTicking(&t);
+    sim.sampler().setInterval(300);
+    sim.sampler().addProbe("now", [&] {
+        return static_cast<double>(sim.now());
+    });
+    sim.run(100000);
+    // Acts at 1000 and 2000; interval probes must still fire at every
+    // exact 300-cycle boundary crossed, never mid-skip.
+    const std::vector<Cycle> expected{300, 600, 900, 1200, 1500, 1800};
+    EXPECT_EQ(sim.sampler().times(), expected);
+}
+
+TEST(FastForward, FrozenBusySystemRunsOutTheClock)
+{
+    // busy() stays true but every component is asleep with no wakeup
+    // scheduled: both kernel modes must run to max_cycles.
+    struct Stuck : Ticking {
+        void tick(Cycle) override { ++ticks; }
+        bool busy() const override { return true; }
+        Cycle nextActiveCycle(Cycle) const override { return kNoCycle; }
+        std::uint64_t ticks = 0;
+    };
+    Simulator sim;
+    Stuck t;
+    sim.addTicking(&t);
+    const Cycle end = sim.run(5000);
+    EXPECT_EQ(end, 5000u);
+    EXPECT_FALSE(sim.finishedIdle());
+    EXPECT_LE(t.ticks, 2u);
+}
+
 TEST(Stats, ScalarAccumulates)
 {
     StatRegistry reg;
