@@ -23,6 +23,9 @@ coreIpc(const workloads::BenchProfile &prof, std::uint32_t threads,
     cfg.core.maxRunning = std::min<std::uint32_t>(threads, 4);
     cfg.core.scheme = scheme;
     chip::SmarcoChip chip(sim, cfg);
+    // This harness attaches tasks to the core directly instead of
+    // going through runSmarco, so arm --faults campaigns here too.
+    auto campaign = armFaultsFromCli(sim, chip);
     for (std::uint32_t t = 0; t < threads; ++t) {
         workloads::TaskSpec ts;
         ts.id = t;

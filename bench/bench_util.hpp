@@ -8,13 +8,17 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baseline/baseline_chip.hpp"
 #include "chip/chip_config.hpp"
 #include "chip/smarco_chip.hpp"
+#include "fault/fault_campaign.hpp"
+#include "fault/fault_spec.hpp"
 #include "sim/logging.hpp"
+#include "sim/observability.hpp"
 #include "workloads/profile.hpp"
 #include "workloads/task.hpp"
 
@@ -35,6 +39,25 @@ inline void
 note(const char *text)
 {
     std::printf("  %s\n", text);
+}
+
+/**
+ * When the run was launched with --faults=campaign.json, build the
+ * campaign and arm it with the chip's targets. Returns null (and
+ * does nothing) otherwise. The caller keeps the campaign alive for
+ * the duration of the run.
+ */
+template <typename Chip>
+inline std::unique_ptr<fault::FaultCampaign>
+armFaultsFromCli(Simulator &sim, Chip &chip)
+{
+    if (!obsOptions().faultsWanted())
+        return nullptr;
+    auto campaign = std::make_unique<fault::FaultCampaign>(
+        sim, fault::FaultSpec::fromJsonFile(obsOptions().faultsPath),
+        obsOptions().faultSeed);
+    campaign->arm(chip.faultTargets());
+    return campaign;
 }
 
 /** Result of one SmarCo chip run. */
@@ -63,6 +86,7 @@ runSmarco(const chip::ChipConfig &cfg,
             t.numOps = ops_override;
     }
     chip.submit(tasks);
+    auto campaign = armFaultsFromCli(sim, chip);
     chip.runUntilDone(max_cycles);
 
     SmarcoRun run;
@@ -93,6 +117,7 @@ runBaseline(const baseline::BaselineParams &params,
             t.numOps = ops_override;
     }
     chip.spawnWorkers(threads, std::move(tasks));
+    auto campaign = armFaultsFromCli(sim, chip);
     sim.run(max_cycles);
     return chip.metrics();
 }

@@ -42,6 +42,14 @@ BaselineChip::BaselineChip(Simulator &sim, BaselineParams params)
                     "branches mispredicted"),
       tasksDone_(sim.stats(), "base.tasksDone", "tasks completed"),
       switches_(sim.stats(), "base.switches", "OS context switches"),
+      deadlineMisses_(sim.stats(), "base.deadlineMisses",
+                      "tasks finishing past their deadline"),
+      workerKills_(sim.stats(), "base.workerKills",
+                   "worker threads killed by fault injection"),
+      workerHangs_(sim.stats(), "base.workerHangs",
+                   "worker threads frozen by fault injection"),
+      recoveries_(sim.stats(), "base.recoveries",
+                  "hung workers restarted by the OS watchdog"),
       l1Latency_(sim.stats(), "base.l1Latency",
                  "mean latency of L1-served accesses"),
       l2Latency_(sim.stats(), "base.l2Latency",
@@ -145,6 +153,106 @@ void
 BaselineChip::injectTask(const workloads::TaskSpec &task)
 {
     bag_.push_back(task);
+}
+
+void
+BaselineChip::taskDone(SwThread &t, Cycle now)
+{
+    ++tasksDone_;
+    lastTaskFinish_ = std::max(lastTaskFinish_, now);
+    if (t.hasTask && t.task.hasDeadline() && now > t.task.deadline)
+        ++deadlineMisses_;
+    nextTask(t, now);
+}
+
+void
+BaselineChip::restartWorker(SwThread &t, Cycle now)
+{
+    if (t.hasTask) {
+        // Progress is lost; the task re-runs from scratch.
+        bag_.push_front(t.task);
+        t.hasTask = false;
+        --activeTasks_;
+    }
+    // Outstanding miss callbacks stay valid: they only decrement the
+    // in-flight counters once the restarted thread is Runnable.
+    t.hung = false;
+    t.mshrBlocked = false;
+    t.stream.reset();
+    t.hasPending = false;
+    t.state = SwThread::State::Runnable;
+    t.readyAt = now + params_.threadCreateCost;
+}
+
+bool
+BaselineChip::injectWorkerFault(bool hang, Rng &rng, Cycle now)
+{
+    if (threads_.empty())
+        return false;
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(threads_.size());
+    const std::uint32_t start =
+        static_cast<std::uint32_t>(rng.nextBelow(n));
+    for (std::uint32_t i = 0; i < n; ++i) {
+        SwThread &t = threads_[(start + i) % n];
+        if (!t.hasTask || t.hung ||
+            t.state == SwThread::State::Starting ||
+            t.state == SwThread::State::Finished)
+            continue;
+        if (hang) {
+            t.hung = true;
+            t.hungSince = now;
+            ++workerHangs_;
+        } else {
+            ++workerKills_;
+            restartWorker(t, now);
+        }
+        if (sim_.trace().enabled(TraceCat::Fault))
+            sim_.trace().instant(
+                TraceCat::Fault,
+                hang ? "base.workerHang" : "base.workerKill", now,
+                t.id);
+        return true;
+    }
+    return false;
+}
+
+void
+BaselineChip::armRecovery(Cycle interval, Cycle timeout)
+{
+    if (interval == 0 || timeout == 0)
+        fatal("baseline: zero recovery interval");
+    recoveryOn_ = true;
+    recoveryInterval_ = interval;
+    recoveryTimeout_ = timeout;
+}
+
+fault::FaultTargets
+BaselineChip::faultTargets()
+{
+    fault::FaultTargets t;
+    t.coreHang = [this](Rng &rng, Cycle now, const fault::FaultSpec &) {
+        return injectWorkerFault(/*hang=*/true, rng, now);
+    };
+    t.coreKill = [this](Rng &rng, Cycle now, const fault::FaultSpec &) {
+        return injectWorkerFault(/*hang=*/false, rng, now);
+    };
+    t.dramStall = [this](Rng &rng, Cycle now,
+                         const fault::FaultSpec &spec) {
+        const std::uint32_t ch = static_cast<std::uint32_t>(
+            rng.nextBelow(params_.dram.channels));
+        dram_->stallChannel(ch, spec.dramStallDuration, now);
+        return true;
+    };
+    t.armContinuous = [this](const fault::FaultSpec &spec, Rng &) {
+        armRecovery(spec.heartbeatInterval, spec.hangTimeout);
+    };
+    t.progress = [this]() {
+        return static_cast<std::uint64_t>(committed_.value()) +
+               static_cast<std::uint64_t>(tasksDone_.value()) +
+               dram_->requestsServed();
+    };
+    return t;
 }
 
 void
@@ -286,8 +394,7 @@ BaselineChip::executeOp(Core &core, SwThread &t, const MicroOp &op,
     switch (op.kind) {
       case OpKind::Halt:
         t.hasPending = false;
-        ++tasksDone_;
-        nextTask(t, now);
+        taskDone(t, now);
         return false;
       case OpKind::Alu:
       case OpKind::Mul:
@@ -320,6 +427,17 @@ BaselineChip::tick(Cycle now)
         return;
     ++cycles_;
 
+    // OS watchdog: restart workers hung past the timeout.
+    if (recoveryOn_ && now >= nextScan_) {
+        nextScan_ = now + recoveryInterval_;
+        for (auto &t : threads_) {
+            if (t.hung && now - t.hungSince >= recoveryTimeout_) {
+                ++recoveries_;
+                restartWorker(t, now);
+            }
+        }
+    }
+
     for (auto &core : cores_) {
         // OS time slicing when software threads oversubscribe a slot.
         if (now >= core.nextRotate) {
@@ -342,6 +460,8 @@ BaselineChip::tick(Cycle now)
             if (budget == 0 || slot.empty())
                 continue;
             SwThread &t = threads_[slot.front()];
+            if (t.hung)
+                continue; // frozen fault: holds the slot until restart
             if (t.state == SwThread::State::Starting) {
                 if (now >= t.readyAt) {
                     --startingCount_;
@@ -372,8 +492,7 @@ BaselineChip::tick(Cycle now)
                 if (!t.hasPending) {
                     if (!t.stream ||
                         !t.stream->next(t.pending)) {
-                        ++tasksDone_;
-                        nextTask(t, now);
+                        taskDone(t, now);
                         break;
                     }
                     t.hasPending = true;
@@ -454,6 +573,9 @@ BaselineChip::metrics() const
     m.l1AvgLatency = l1Latency_.value();
     m.l2AvgLatency = l2Latency_.value();
     m.llcAvgLatency = llcLatency_.value();
+    m.deadlineMisses =
+        static_cast<std::uint64_t>(deadlineMisses_.value());
+    m.lastTaskFinish = lastTaskFinish_;
     return m;
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_campaign.hpp"
 #include "isa/instr_stream.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
@@ -91,6 +92,9 @@ struct BaselineMetrics {
     double l2AvgLatency = 0.0;
     double llcAvgLatency = 0.0;
     double cpuUtilisation = 0.0; ///< busy issue slots / all slots
+    std::uint64_t deadlineMisses = 0;
+    /** Finish cycle of the last completed task (see ChipMetrics). */
+    Cycle lastTaskFinish = 0;
 };
 
 /**
@@ -126,6 +130,29 @@ class BaselineChip : public Ticking
     std::uint64_t tasksCompleted() const
     { return static_cast<std::uint64_t>(tasksDone_.value()); }
 
+    /**
+     * Fault model: hang (thread freezes holding its SMT slot until
+     * the OS watchdog restarts it) or kill (the worker dies; its task
+     * returns to the shared bag and the thread respawns, paying
+     * threadCreateCost). The victim is a pseudo-randomly chosen
+     * worker that currently holds a task.
+     * @return false when no eligible victim exists.
+     */
+    bool injectWorkerFault(bool hang, Rng &rng, Cycle now);
+
+    /** OS watchdog: scan every interval, restart workers hung for
+     *  at least timeout cycles. */
+    void armRecovery(Cycle interval, Cycle timeout);
+
+    /** Injection surfaces for a fault::FaultCampaign (core + DRAM
+     *  only: the baseline has no ring NoC or MACT). */
+    fault::FaultTargets faultTargets();
+
+    std::uint64_t workerKills() const
+    { return static_cast<std::uint64_t>(workerKills_.value()); }
+    std::uint64_t workerRecoveries() const
+    { return static_cast<std::uint64_t>(recoveries_.value()); }
+
   private:
     /** One software thread. */
     struct SwThread {
@@ -143,6 +170,9 @@ class BaselineChip : public Ticking
         std::uint64_t fetchOff = 0;
         isa::MicroOp pending{};
         bool hasPending = false;
+        /** Fault model: frozen in place, holding its SMT slot. */
+        bool hung = false;
+        Cycle hungSince = 0;
         Rng rng{0, 0};
         std::uint32_t id = 0;
     };
@@ -160,6 +190,10 @@ class BaselineChip : public Ticking
 
     workloads::AddressLayout layoutFor(const SwThread &t) const;
     void nextTask(SwThread &t, Cycle now);
+    /** Record a completion (deadline check) and pop the next task. */
+    void taskDone(SwThread &t, Cycle now);
+    /** Return the worker's task to the bag and respawn it. */
+    void restartWorker(SwThread &t, Cycle now);
     bool fetchOk(Core &core, SwThread &t, Cycle now);
     /** @return true when the thread may keep issuing this cycle. */
     bool executeOp(Core &core, SwThread &t, const isa::MicroOp &op,
@@ -179,6 +213,11 @@ class BaselineChip : public Ticking
     std::uint64_t activeTasks_ = 0;   ///< threads mid-task
     std::uint64_t startingCount_ = 0; ///< threads not yet created
     bool persistent_ = false;         ///< CDN-style worker pool
+    bool recoveryOn_ = false;
+    Cycle recoveryInterval_ = 10'000;
+    Cycle recoveryTimeout_ = 60'000;
+    Cycle nextScan_ = 0;
+    Cycle lastTaskFinish_ = 0;
 
     Scalar committed_;
     Scalar cycles_;
@@ -189,6 +228,10 @@ class BaselineChip : public Ticking
     Scalar branchMisses_;
     Scalar tasksDone_;
     Scalar switches_;
+    Scalar deadlineMisses_;
+    Scalar workerKills_;
+    Scalar workerHangs_;
+    Scalar recoveries_;
     Average l1Latency_;
     Average l2Latency_;
     Average llcLatency_;

@@ -221,6 +221,8 @@ SmarcoChip::metrics() const
     for (const auto &s : subScheds_) {
         m.tasksCompleted += s->tasksCompleted();
         m.deadlineMisses += s->deadlineMisses();
+        for (const auto &e : s->exits())
+            m.lastTaskFinish = std::max(m.lastTaskFinish, e.finish);
     }
     if (m.cycles > 0) {
         m.aggregateIpc = static_cast<double>(m.opsCommitted) /
@@ -665,6 +667,112 @@ SmarcoChip::dmaChunk(CoreId core_id, Addr src, Addr dst,
         return;
     }
     network_->send(std::move(pkt));
+}
+
+bool
+SmarcoChip::injectCoreFault(core::ThreadFault kind, Rng &rng,
+                            Cycle now)
+{
+    const std::uint32_t n = numCores();
+    const std::uint32_t start =
+        static_cast<std::uint32_t>(rng.nextBelow(n));
+    for (std::uint32_t i = 0; i < n; ++i) {
+        core::TcgCore &c = *cores_[(start + i) % n];
+        if (c.liveContexts() > 0 &&
+            c.injectThreadFault(kind, rng, now))
+            return true;
+    }
+    return false;
+}
+
+noc::Ring &
+SmarcoChip::pickRing(Rng &rng)
+{
+    const std::uint32_t pick = static_cast<std::uint32_t>(
+        rng.nextBelow(1 + cfg_.noc.numSubRings));
+    return pick == 0 ? network_->mainRing()
+                     : network_->subRing(pick - 1);
+}
+
+fault::FaultTargets
+SmarcoChip::faultTargets()
+{
+    fault::FaultTargets t;
+    t.coreHang = [this](Rng &rng, Cycle now, const fault::FaultSpec &) {
+        return injectCoreFault(core::ThreadFault::Hang, rng, now);
+    };
+    t.coreKill = [this](Rng &rng, Cycle now, const fault::FaultSpec &) {
+        return injectCoreFault(core::ThreadFault::Kill, rng, now);
+    };
+    t.nocDegrade = [this](Rng &rng, Cycle now,
+                          const fault::FaultSpec &spec) {
+        noc::Ring &ring = pickRing(rng);
+        const std::uint32_t stop = static_cast<std::uint32_t>(
+            rng.nextBelow(ring.params().numStops));
+        const std::uint32_t dir =
+            static_cast<std::uint32_t>(rng.nextBelow(2));
+        ring.degradeLink(stop, dir, spec.nocDegradeFactor,
+                         now + spec.nocDegradeDuration);
+        return true;
+    };
+    t.nocDup = [this](Rng &rng, Cycle, const fault::FaultSpec &) {
+        pickRing(rng).armDuplicate(1);
+        return true;
+    };
+    t.dramStall = [this](Rng &rng, Cycle now,
+                         const fault::FaultSpec &spec) {
+        const std::uint32_t ch = static_cast<std::uint32_t>(
+            rng.nextBelow(dram_->params().channels));
+        dram_->stallChannel(ch, spec.dramStallDuration, now);
+        return true;
+    };
+    t.mactLoss = [this](Rng &rng, Cycle now,
+                        const fault::FaultSpec &spec) {
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(macts_.size());
+        const std::uint32_t start =
+            static_cast<std::uint32_t>(rng.nextBelow(n));
+        const std::uint64_t pick = rng.next();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            mem::Mact &m = *macts_[(start + i) % n];
+            if (m.occupancy() > 0)
+                return m.injectEntryLoss(
+                    pick, spec.mactRecoveryLatency, now);
+        }
+        return false;
+    };
+    t.armContinuous = [this](const fault::FaultSpec &spec,
+                             Rng &drop_rng) {
+        if (spec.nocDropProb > 0.0) {
+            noc::RingFaultParams rf;
+            rf.dropProb = spec.nocDropProb;
+            rf.nackDelay = spec.nocNackDelay;
+            rf.maxRetransmits = spec.nocMaxRetransmits;
+            rf.rng = &drop_rng;
+            network_->mainRing().setFaults(rf);
+            for (std::uint32_t i = 0; i < cfg_.noc.numSubRings; ++i)
+                network_->subRing(i).setFaults(rf);
+        }
+        sched::RecoveryParams rp;
+        rp.heartbeatInterval = spec.heartbeatInterval;
+        rp.hangTimeout = spec.hangTimeout;
+        rp.backoffBase = spec.backoffBase;
+        rp.backoffMax = spec.backoffMax;
+        rp.maxAttempts = spec.maxAttempts;
+        for (auto &s : subScheds_)
+            s->enableRecovery(rp);
+    };
+    t.progress = [this]() {
+        std::uint64_t p = 0;
+        for (const auto &c : cores_)
+            p += c->committedOps();
+        for (const auto &s : subScheds_)
+            p += s->tasksCompleted();
+        p += network_->packetsDelivered();
+        p += dram_->requestsServed();
+        return p;
+    };
+    return t;
 }
 
 } // namespace smarco::chip

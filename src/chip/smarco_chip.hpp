@@ -17,6 +17,7 @@
 
 #include "chip/chip_config.hpp"
 #include "core/mem_port.hpp"
+#include "fault/fault_campaign.hpp"
 #include "core/tcg_core.hpp"
 #include "mem/dram.hpp"
 #include "mem/mact.hpp"
@@ -41,6 +42,10 @@ struct ChipMetrics {
     double nocUtilisation = 0.0;
     std::uint64_t dramRequests = 0;
     std::uint64_t deadlineMisses = 0;
+    /** Finish cycle of the last completed task. Faulted runs append
+     *  recovery/watchdog events past the useful work, so throughput
+     *  is measured against this, not the final simulator cycle. */
+    Cycle lastTaskFinish = 0;
 };
 
 /**
@@ -94,6 +99,9 @@ class SmarcoChip : public core::MemPort
     workloads::AddressLayout layoutFor(const workloads::TaskSpec &task,
                                        CoreId core) const;
 
+    /** Injection surfaces for a fault::FaultCampaign. */
+    fault::FaultTargets faultTargets();
+
     // --- MemPort --------------------------------------------------------
     void request(CoreId core, ThreadId thread, const isa::MicroOp &op,
                  core::MemDone done) override;
@@ -106,6 +114,10 @@ class SmarcoChip : public core::MemPort
     };
 
     noc::NodeId mcNodeFor(Addr addr) const;
+    /** Scan for a core with an eligible victim, starting randomly. */
+    bool injectCoreFault(core::ThreadFault kind, Rng &rng, Cycle now);
+    /** Ring picked uniformly among main + subs. */
+    noc::Ring &pickRing(Rng &rng);
     void sendReadToMemory(const mem::MemRequest &req,
                           core::MemDone done);
     void sendWriteToMemory(const mem::MemRequest &req,

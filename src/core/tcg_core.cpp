@@ -56,7 +56,11 @@ TcgCore::TcgCore(Simulator &sim, CoreParams params, CoreId id,
       stallsMem_(sim.stats(), stat_prefix + ".stallsMem",
                  "blocking memory stalls"),
       tasksFinished_(sim.stats(), stat_prefix + ".tasksFinished",
-                     "tasks completed on this core")
+                     "tasks completed on this core"),
+      tasksKilled_(sim.stats(), stat_prefix + ".tasksKilled",
+                   "tasks killed by faults or hang recovery"),
+      threadHangs_(sim.stats(), stat_prefix + ".threadHangs",
+                   "thread-hang faults injected")
 {
     if (params_.maxRunning == 0 || params_.issueWidth == 0)
         fatal("core %u: zero-width pipeline", id);
@@ -95,6 +99,8 @@ TcgCore::attachTask(const workloads::TaskSpec &task,
         ctx.taskStart = sim_.now();
         ctx.fetchOff = 0;
         ctx.hasPending = false;
+        ctx.hung = false;
+        ctx.killed = false;
         const std::string &kernel =
             task.profile ? task.profile->name : std::string("task");
         ctx.pcBase = kernelCodeBase(kernel);
@@ -226,6 +232,12 @@ void
 TcgCore::wakeThread(std::uint32_t ctx_idx, Cycle now)
 {
     Context &ctx = contexts_[ctx_idx];
+    if (ctx.killed) {
+        // Deferred kill: the context was killed while stalled; free
+        // it now that its outstanding response has arrived.
+        killContext(ctx_idx, now);
+        return;
+    }
     if (ctx.state != State::Stalled)
         panic("core %u: waking context %u in state %d", id_, ctx_idx,
               static_cast<int>(ctx.state));
@@ -272,6 +284,103 @@ TcgCore::finishTask(std::uint32_t ctx_idx, Cycle now)
 
     if (done)
         done(task, now);
+}
+
+void
+TcgCore::killContext(std::uint32_t ctx_idx, Cycle now)
+{
+    Context &ctx = contexts_[ctx_idx];
+    ++tasksKilled_;
+    if (sim_.trace().enabled(TraceCat::Fault)) [[unlikely]]
+        sim_.trace().instant(
+            TraceCat::Fault, "core.kill", now, id_,
+            strprintf("{\"task\":%llu,\"ctx\":%u,\"ops\":%llu}",
+                      static_cast<unsigned long long>(ctx.task.id),
+                      ctx_idx,
+                      static_cast<unsigned long long>(ctx.opsDone)));
+    const workloads::TaskSpec task = ctx.task;
+    ctx.state = State::Idle;
+    ctx.stream.reset();
+    ctx.hasPending = false;
+    ctx.done = nullptr;
+    ctx.hung = false;
+    ctx.killed = false;
+
+    // The vacated slot goes to a Ready friend, as on completion.
+    const std::uint32_t fi = friendOf(ctx_idx);
+    if (fi != ctx_idx && contexts_[fi].state == State::Ready)
+        contexts_[fi].state = State::Running;
+
+    if (failHandler_)
+        failHandler_(task, now);
+}
+
+bool
+TcgCore::injectThreadFault(ThreadFault kind, Rng &rng, Cycle now)
+{
+    std::uint32_t cand[16];
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < contexts_.size(); ++i) {
+        const Context &c = contexts_[i];
+        if (c.killed)
+            continue;
+        if (kind == ThreadFault::Hang) {
+            if ((c.state == State::Running ||
+                 c.state == State::Ready) && !c.hung)
+                cand[n++] = i;
+        } else if (c.state != State::Idle) {
+            cand[n++] = i;
+        }
+    }
+    if (n == 0)
+        return false;
+    const std::uint32_t idx =
+        cand[static_cast<std::uint32_t>(rng.nextBelow(n))];
+    if (kind == ThreadFault::Hang) {
+        contexts_[idx].hung = true;
+        ++threadHangs_;
+        if (sim_.trace().enabled(TraceCat::Fault)) [[unlikely]]
+            sim_.trace().instant(
+                TraceCat::Fault, "core.hang", now, id_,
+                strprintf("{\"task\":%llu,\"ctx\":%u}",
+                          static_cast<unsigned long long>(
+                              contexts_[idx].task.id),
+                          idx));
+        return true;
+    }
+    if (contexts_[idx].state == State::Stalled)
+        contexts_[idx].killed = true; // freed on response arrival
+    else
+        killContext(idx, now);
+    return true;
+}
+
+bool
+TcgCore::killTask(TaskId id, Cycle now)
+{
+    for (std::uint32_t i = 0; i < contexts_.size(); ++i) {
+        Context &ctx = contexts_[i];
+        if (ctx.state == State::Idle || ctx.killed ||
+            ctx.task.id != id)
+            continue;
+        if (ctx.state == State::Stalled)
+            ctx.killed = true; // freed on response arrival
+        else
+            killContext(i, now);
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+TcgCore::taskProgress(TaskId id) const
+{
+    for (const auto &ctx : contexts_) {
+        if (ctx.state != State::Idle && !ctx.killed &&
+            ctx.task.id == id)
+            return ctx.opsDone;
+    }
+    return kNoTask;
 }
 
 std::uint32_t
@@ -516,6 +625,8 @@ TcgCore::tick(Cycle now)
         Context *ctx = activeOf(order[k]);
         if (!ctx)
             continue;
+        if (ctx->hung)
+            continue; // frozen fault: occupies its slot, issues nothing
         const std::uint32_t ctx_idx =
             static_cast<std::uint32_t>(ctx - contexts_.data());
         const std::uint32_t cap = ilpCap(*ctx);

@@ -77,6 +77,19 @@ using TaskDone = std::function<void(const workloads::TaskSpec &task,
                                     Cycle finish)>;
 
 /**
+ * Invoked when a task is killed (fault injection / hang recovery)
+ * instead of finishing; the scheduler re-dispatches or abandons it.
+ */
+using TaskFail = std::function<void(const workloads::TaskSpec &task,
+                                    Cycle when)>;
+
+/** Thread-context fault kinds (see src/fault/). */
+enum class ThreadFault : std::uint8_t {
+    Hang, ///< context freezes, occupying its slot until killed
+    Kill  ///< context dies immediately; its task is reported failed
+};
+
+/**
  * The TCG core. The chip constructs one per NoC core stop, wires its
  * MemPort, and attaches tasks to free contexts (usually through the
  * sub-ring scheduler).
@@ -123,6 +136,39 @@ class TcgCore : public Ticking
     void setIssuePolicy(IssuePolicy policy)
     { params_.issuePolicy = policy; }
 
+    /** taskProgress() result when the task is not on this core. */
+    static constexpr std::uint64_t kNoTask = ~std::uint64_t{0};
+
+    /**
+     * Install the task-failure handler (normally the owning
+     * sub-scheduler's recovery path). Killed tasks are reported here
+     * instead of through their TaskDone callback.
+     */
+    void setTaskFailHandler(TaskFail handler)
+    { failHandler_ = std::move(handler); }
+
+    /**
+     * Inject a thread fault on a pseudo-randomly chosen victim
+     * context (Hang: a Running/Ready context freezes; Kill: any live
+     * context dies). @return false when no eligible victim exists.
+     */
+    bool injectThreadFault(ThreadFault kind, Rng &rng, Cycle now);
+
+    /**
+     * Kill the context hosting the given task (recovery path). A
+     * stalled context is freed when its outstanding memory response
+     * arrives; the failure handler fires at that point.
+     * @return false when the task is not on this core.
+     */
+    bool killTask(TaskId id, Cycle now);
+
+    /**
+     * Committed ops of the given task, or kNoTask when it is not
+     * hosted here — the scheduler's heartbeat reads this to detect
+     * frozen (hung) tasks.
+     */
+    std::uint64_t taskProgress(TaskId id) const;
+
   private:
     enum class State : std::uint8_t {
         Idle,    ///< no task attached
@@ -144,6 +190,10 @@ class TcgCore : public Ticking
         isa::MicroOp pending{};
         bool hasPending = false;
         bool fetchedThisCycle = false;
+        /** Fault model: frozen in place, occupying its slot. */
+        bool hung = false;
+        /** Kill deferred until the outstanding response arrives. */
+        bool killed = false;
         Rng rng{0, 0};
     };
 
@@ -161,6 +211,8 @@ class TcgCore : public Ticking
     void stallThread(std::uint32_t ctx_idx, Cycle now);
     void wakeThread(std::uint32_t ctx_idx, Cycle now);
     void finishTask(std::uint32_t ctx_idx, Cycle now);
+    /** Free a context without completing its task (kill path). */
+    void killContext(std::uint32_t ctx_idx, Cycle now);
     /** Per-thread issue limit this cycle from the task's ILP. */
     std::uint32_t ilpCap(Context &ctx) const;
     /** Model instruction fetch; false on I-starvation this cycle. */
@@ -185,6 +237,7 @@ class TcgCore : public Ticking
     std::uint32_t rrSlot_ = 0;
     std::uint64_t pendingResponses_ = 0;
     Rng rng_;
+    TaskFail failHandler_;
 
     Scalar committed_;
     Scalar cyclesActive_;
@@ -194,6 +247,8 @@ class TcgCore : public Ticking
     Scalar pairSwitches_;
     Scalar stallsMem_;
     Scalar tasksFinished_;
+    Scalar tasksKilled_;
+    Scalar threadHangs_;
 };
 
 } // namespace smarco::core

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Deterministic fault-injection campaign.
+ *
+ * A FaultCampaign turns a FaultSpec into a pre-generated, seeded
+ * sequence of fault arrivals and replays it through the event queue.
+ * Every random draw comes from named "fault.*" streams, so arming a
+ * campaign never perturbs workload or scheduler randomness, and an
+ * inert campaign (all rates zero) leaves the run byte-identical to a
+ * campaign-free one. Arrivals are generated up front — not as the
+ * run unfolds — so the same spec and seed give the same injection
+ * cycles in the cycle-accurate and fast-forward kernels alike.
+ *
+ * The chip exposes its injectable surfaces as FaultTargets hooks; the
+ * campaign stays ignorant of chip internals and depends only on the
+ * sim layer.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "fault/fault_spec.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace smarco::fault {
+
+/** The six scheduled fault sources. */
+enum class FaultKind : std::uint8_t {
+    CoreHang,
+    CoreKill,
+    NocDegrade,
+    NocDup,
+    DramStall,
+    MactLoss,
+};
+inline constexpr std::size_t kNumFaultKinds = 6;
+
+const char *faultKindName(FaultKind kind);
+
+/** One executed injection attempt. */
+struct FaultRecord {
+    Cycle cycle = 0;
+    FaultKind kind = FaultKind::CoreHang;
+    /** False when no eligible victim existed at that cycle. */
+    bool hit = false;
+};
+
+/**
+ * Injection surfaces of one chip. Each hook attempts one injection
+ * (picking a victim from the supplied per-kind Rng) and reports
+ * whether it landed. armContinuous installs the always-on knobs:
+ * ring drop probability and scheduler recovery. progress returns a
+ * monotonically growing work counter for the watchdog.
+ */
+struct FaultTargets {
+    using InjectFn =
+        std::function<bool(Rng &, Cycle, const FaultSpec &)>;
+
+    InjectFn coreHang;
+    InjectFn coreKill;
+    InjectFn nocDegrade;
+    InjectFn nocDup;
+    InjectFn dramStall;
+    InjectFn mactLoss;
+    /**
+     * Install the always-on knobs: ring drop probability (drawing
+     * from the campaign-owned drop_rng, which outlives the run) and
+     * scheduler recovery.
+     */
+    std::function<void(const FaultSpec &, Rng &drop_rng)>
+        armContinuous;
+    std::function<std::uint64_t()> progress;
+};
+
+/**
+ * Per-fault record log, exported under "fault.log" in the stats JSON
+ * so --stats-json runs carry their injection history. Capped: a long
+ * campaign keeps the first kMaxRecords and sets "truncated".
+ */
+class FaultLog : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    static constexpr std::size_t kMaxRecords = 256;
+
+    void record(const FaultRecord &r);
+
+    const std::vector<FaultRecord> &records() const { return records_; }
+
+    double value() const override
+    { return static_cast<double>(total_); }
+    void reset() override;
+    void printJson(std::ostream &os) const override;
+
+  private:
+    std::vector<FaultRecord> records_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * The campaign. Construct with the spec and the fault seed, then
+ * arm() with a chip's targets after the chip is built and before the
+ * run starts. The campaign must outlive the run: pending injection
+ * and watchdog events hold a pointer to it.
+ */
+class FaultCampaign
+{
+  public:
+    FaultCampaign(Simulator &sim, FaultSpec spec, std::uint64_t seed);
+
+    /** Generate the arrival sequence and start the event chains. */
+    void arm(const FaultTargets &targets);
+
+    const FaultSpec &spec() const { return spec_; }
+    bool armed() const { return armed_; }
+
+    std::uint64_t injected() const
+    { return injected_ ? static_cast<std::uint64_t>(injected_->value())
+                       : 0; }
+    std::uint64_t noVictim() const
+    { return noVictim_ ? static_cast<std::uint64_t>(noVictim_->value())
+                       : 0; }
+    const FaultLog *log() const { return log_.get(); }
+
+  private:
+    struct Arrival {
+        Cycle cycle = 0;
+        std::uint8_t src = 0; ///< index into FaultKind
+    };
+
+    void generate();
+    void scheduleNext(std::size_t idx);
+    void fire(std::size_t idx);
+    void scheduleWatchdog(Cycle when);
+    [[noreturn]] void watchdogAbort(Cycle now);
+
+    Simulator &sim_;
+    FaultSpec spec_;
+    std::uint64_t seed_;
+    FaultTargets targets_;
+    bool armed_ = false;
+
+    std::vector<Arrival> arrivals_;
+    std::array<Rng, kNumFaultKinds> pickRngs_;
+    /** Per-crossing drop draws; handed to the rings via a pointer. */
+    Rng dropRng_;
+    std::uint64_t lastProgress_ = 0;
+    bool progressSeen_ = false;
+
+    // Created lazily on arm(): an inert campaign registers nothing,
+    // keeping zero-fault runs byte-identical to campaign-free runs.
+    std::unique_ptr<Scalar> injected_;
+    std::unique_ptr<Scalar> noVictim_;
+    std::array<std::unique_ptr<Scalar>, kNumFaultKinds> byKind_;
+    std::unique_ptr<FaultLog> log_;
+};
+
+} // namespace smarco::fault

@@ -17,6 +17,10 @@ DramController::DramController(Simulator &sim, DramParams params,
                 "DRAM requests served"),
       bytes_(sim.stats(), stat_prefix + ".bytes",
              "DRAM data bytes moved"),
+      faultStalls_(sim.stats(), stat_prefix + ".faultStalls",
+                   "channel stall windows injected"),
+      faultStallCycles_(sim.stats(), stat_prefix + ".faultStallCycles",
+                        "total injected stall-window cycles"),
       readLatency_(sim.stats(), stat_prefix + ".latency",
                    "mean read service latency (cycles)"),
       queueDelay_(sim.stats(), stat_prefix + ".queueDelay",
@@ -70,9 +74,34 @@ DramController::serve(Addr addr, std::uint32_t data_bytes, Cycle now,
 }
 
 void
+DramController::stallChannel(std::uint32_t ch, Cycle duration, Cycle now)
+{
+    if (ch >= channels_.size())
+        panic("DRAM: stallChannel(%u) of %zu", ch, channels_.size());
+    Channel &channel = channels_[ch];
+    channel.stalledUntil =
+        std::max(channel.stalledUntil, now + duration);
+    ++faultStalls_;
+    faultStallCycles_ += static_cast<double>(duration);
+    if (sim_.trace().enabled(TraceCat::Fault))
+        sim_.trace().complete(
+            TraceCat::Fault, strprintf("dram.ch%u.stall", ch), now,
+            channel.stalledUntil, ch);
+    // An idle channel needs no resume event: the serve() that starts
+    // the next service loop lands in the stall check below.
+}
+
+void
 DramController::serviceNext(std::uint32_t ch)
 {
     Channel &channel = channels_[ch];
+    if (sim_.now() < channel.stalledUntil) {
+        // Fault window: hold the service loop (and the serving flag)
+        // and retry when it closes.
+        sim_.events().schedule(channel.stalledUntil,
+                               [this, ch]() { serviceNext(ch); });
+        return;
+    }
     const bool reads_pending =
         !channel.demandQ.empty() || !channel.bulkQ.empty();
     const bool drain_writes =

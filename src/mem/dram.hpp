@@ -96,6 +96,18 @@ class DramController
     /** True while any channel has queued or in-service requests. */
     bool busyNow() const;
 
+    /**
+     * Fault model (see src/fault/): freeze one channel's service loop
+     * until now + duration. Queued and newly arriving requests wait
+     * and are served after the window — nothing is lost, so a stalled
+     * run completes late rather than wedging. Overlapping stalls
+     * extend the window.
+     */
+    void stallChannel(std::uint32_t ch, Cycle duration, Cycle now);
+
+    std::uint64_t faultStalls() const
+    { return static_cast<std::uint64_t>(faultStalls_.value()); }
+
   private:
     struct Request {
         Addr addr;
@@ -110,6 +122,8 @@ class DramController
         std::deque<Request> writeQ;
         std::uint32_t demandStreak = 0;
         bool serving = false;
+        /** Fault model: service is frozen until this cycle. */
+        Cycle stalledUntil = 0;
     };
 
     void serviceNext(std::uint32_t ch);
@@ -120,6 +134,8 @@ class DramController
 
     Scalar requests_;
     Scalar bytes_;
+    Scalar faultStalls_;
+    Scalar faultStallCycles_;
     Average readLatency_;
     Average queueDelay_;
     /** Per-channel data bytes (".ch<N>.bytes" in the registry). */

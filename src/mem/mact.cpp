@@ -40,6 +40,10 @@ Mact::Mact(Simulator &sim, MactParams params,
                        "lines flushed by the threshold timer"),
       capacityFlushes_(sim.stats(), stat_prefix + ".capacityFlushes",
                        "lines flushed to make room"),
+      entriesLost_(sim.stats(), stat_prefix + ".entriesLost",
+                   "table entries lost to injected soft errors"),
+      requestsRecovered_(sim.stats(), stat_prefix + ".requestsRecovered",
+                         "requests re-emitted after an entry loss"),
       batchSize_(sim.stats(), stat_prefix + ".batchSize",
                  "requests merged per batch")
 {
@@ -166,6 +170,53 @@ Mact::nextActiveCycle(Cycle now) const
                                 line.firstCollect + params_.threshold);
     }
     return std::max(earliest, now + 1);
+}
+
+bool
+Mact::injectEntryLoss(std::uint64_t pick, Cycle recovery_latency,
+                      Cycle now)
+{
+    if (used_ == 0)
+        return false;
+    if (!sink_)
+        panic("MACT entry loss before setSink");
+    std::uint64_t skip = pick % used_;
+    Line *victim = nullptr;
+    for (auto &line : table_) {
+        if (!line.valid)
+            continue;
+        if (skip == 0) {
+            victim = &line;
+            break;
+        }
+        --skip;
+    }
+    MactBatch batch;
+    batch.write = victim->write;
+    batch.lineBase = victim->base;
+    batch.vector = victim->vector;
+    batch.requests = std::move(victim->requests);
+    victim->valid = false;
+    victim->requests.clear();
+    --used_;
+    ++entriesLost_;
+    requestsRecovered_ += static_cast<double>(batch.requests.size());
+    if (sim_.trace().enabled(TraceCat::Fault))
+        sim_.trace().instant(
+            TraceCat::Fault, "mact.entryLoss", now, 0,
+            strprintf("{\"merged\":%zu}", batch.requests.size()));
+    // The lost entry's requests are rebuilt from the requester side
+    // and re-emitted once the recovery window elapses; they complete
+    // late, never silently disappear.
+    sim_.events().schedule(
+        now + recovery_latency,
+        [this, batch = std::move(batch)]() mutable {
+            batchSize_.sample(
+                static_cast<double>(batch.requests.size()));
+            ++batches_;
+            sink_(std::move(batch));
+        });
+    return true;
 }
 
 void

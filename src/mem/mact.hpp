@@ -89,6 +89,21 @@ class Mact : public Ticking
     std::uint64_t batches() const
     { return static_cast<std::uint64_t>(batches_.value()); }
 
+    /**
+     * Fault model (see src/fault/): lose one occupied table entry, as
+     * if a soft error flipped its valid bit. The entry's contents are
+     * rebuilt from the (modelled) core-side MSHRs and re-emitted as a
+     * batch after recovery_latency cycles, so the merged requests
+     * complete late rather than never. pick selects among the
+     * occupied lines (pick % occupancy).
+     * @return false when the table is empty.
+     */
+    bool injectEntryLoss(std::uint64_t pick, Cycle recovery_latency,
+                         Cycle now);
+
+    std::uint64_t entriesLost() const
+    { return static_cast<std::uint64_t>(entriesLost_.value()); }
+
   private:
     struct Line {
         bool valid = false;
@@ -114,6 +129,8 @@ class Mact : public Ticking
     Scalar fullFlushes_;
     Scalar deadlineFlushes_;
     Scalar capacityFlushes_;
+    Scalar entriesLost_;
+    Scalar requestsRecovered_;
     Average batchSize_;
 };
 

@@ -24,6 +24,14 @@ Ring::Ring(Simulator &sim, RingParams params,
                      "slice-quantised wire bytes consumed"),
       cyclesTicked_(sim.stats(), stat_prefix + ".cycles",
                     "cycles this ring was ticked"),
+      drops_(sim.stats(), stat_prefix + ".faultDrops",
+             "packets dropped by the link fault model"),
+      retransmits_(sim.stats(), stat_prefix + ".retransmits",
+                   "NACK-triggered retransmissions"),
+      dupsSuppressed_(sim.stats(), stat_prefix + ".dupsSuppressed",
+                      "duplicate deliveries suppressed at ejection"),
+      linkDegrades_(sim.stats(), stat_prefix + ".linkDegrades",
+                    "link degradation windows applied"),
       hopLatency_(sim.stats(), stat_prefix + ".latency",
                   "mean in-ring packet latency (cycles)"),
       occupancy_(sim.stats(), stat_prefix + ".occupancy",
@@ -127,8 +135,98 @@ Ring::pendingBytes(const Stop &s, std::uint32_t d) const
     return total;
 }
 
+void
+Ring::setFaults(const RingFaultParams &faults)
+{
+    faults_ = faults;
+    if (faults_.dropProb > 0.0 && !faults_.rng)
+        panic("ring %s: dropProb without an RNG", params_.name.c_str());
+}
+
+void
+Ring::armDrop(std::uint32_t count)
+{
+    dropArm_ += count;
+}
+
+void
+Ring::armDuplicate(std::uint32_t count)
+{
+    dupArm_ += count;
+    dedupOn_ = true;
+}
+
+void
+Ring::degradeLink(std::uint32_t stop, std::uint32_t dir, double factor,
+                  Cycle until)
+{
+    if (stop >= stops_.size() || dir > 1)
+        panic("ring %s: degradeLink(%u, %u) out of range",
+              params_.name.c_str(), stop, dir);
+    degrades_.push_back({stop, dir, factor, until});
+    ++linkDegrades_;
+    if (sim_.trace().enabled(TraceCat::Fault))
+        sim_.trace().complete(
+            TraceCat::Fault, params_.name + ".degrade", sim_.now(),
+            until, stop,
+            strprintf("{\"dir\":%u,\"factor\":%f}", dir, factor));
+}
+
+bool
+Ring::shouldDrop(const Transit &t)
+{
+    if (t.retries >= faults_.maxRetransmits)
+        return false; // protected retransmission: must get through
+    if (dropArm_ > 0) {
+        --dropArm_;
+        return true;
+    }
+    return faults_.dropProb > 0.0 && faults_.rng &&
+        faults_.rng->chance(faults_.dropProb);
+}
+
+void
+Ring::scheduleRetransmit(std::uint32_t src_stop, std::uint32_t d,
+                         Transit t, Cycle now)
+{
+    ++drops_;
+    ++retransmits_;
+    if (sim_.trace().enabled(TraceCat::Fault))
+        sim_.trace().instant(
+            TraceCat::Fault, params_.name + ".drop", now, src_stop,
+            strprintf("{\"dir\":%u,\"retries\":%u}", d, t.retries));
+    // The packet stays accounted in inFlight_ (the ring remains busy)
+    // while the NACK is in flight; the retransmission re-enters at
+    // the head of the source through-queue, ahead of younger traffic.
+    sim_.events().schedule(
+        now + faults_.nackDelay,
+        [this, src_stop, d, t = std::move(t)]() mutable {
+            stops_[src_stop].through[d].push_front(std::move(t));
+            sim_.wake(this);
+        });
+}
+
+bool
+Ring::dedupSeen(std::uint64_t id)
+{
+    return dedupSet_.count(id) != 0;
+}
+
+void
+Ring::dedupRecord(std::uint64_t id)
+{
+    if (!dedupSet_.insert(id).second)
+        return;
+    dedupFifo_.push_back(id);
+    if (dedupFifo_.size() > 512) {
+        dedupSet_.erase(dedupFifo_.front());
+        dedupFifo_.pop_front();
+    }
+}
+
 std::uint32_t
-Ring::dirBudget(const Stop &s, std::uint32_t d) const
+Ring::dirBudget(const Stop &s, std::uint32_t stop_idx, std::uint32_t d,
+                Cycle now) const
 {
     std::uint32_t budget = params_.fixedBytesPerDir;
     if (params_.flexBytes > 0) {
@@ -153,7 +251,17 @@ Ring::dirBudget(const Stop &s, std::uint32_t d) const
         }
         budget += mine * params_.flexUnitBytes;
     }
-    return budget;
+    bool degraded = false;
+    for (const Degrade &g : degrades_) {
+        if (g.stop == stop_idx && g.dir == d && now < g.until) {
+            budget = static_cast<std::uint32_t>(
+                static_cast<double>(budget) * g.factor);
+            degraded = true;
+        }
+    }
+    // A degraded link still trickles (floored at one byte per cycle)
+    // so traffic behind it drains instead of wedging.
+    return degraded ? std::max<std::uint32_t>(budget, 1) : budget;
 }
 
 void
@@ -183,6 +291,15 @@ Ring::eject(Stop &s, std::uint32_t stop_idx, Cycle now)
             const Cycle lat = now - pkt.created;
             s.through[d].pop_front();
             --inFlight_;
+            if (dedupOn_ && pkt.id != 0) {
+                if (dedupSeen(pkt.id)) {
+                    // Retired duplicate: port bytes were consumed,
+                    // but the payload is delivered exactly once.
+                    ++dupsSuppressed_;
+                    continue;
+                }
+                dedupRecord(pkt.id);
+            }
             ++delivered_;
             hopLatency_.sample(static_cast<double>(lat));
             if (sim_.trace().enabled(TraceCat::Noc))
@@ -230,7 +347,7 @@ Ring::tick(Cycle now)
             const std::uint32_t next = d == 0 ? (i + 1) % n
                                               : (i + n - 1) % n;
             Stop &ns = stops_[next];
-            const std::uint32_t budget = dirBudget(s, d);
+            const std::uint32_t budget = dirBudget(s, i, d, now);
             const std::uint32_t slice = params_.sliceBytes == 0
                 ? budget
                 : std::min(params_.sliceBytes, budget);
@@ -267,7 +384,23 @@ Ring::tick(Cycle now)
                         q.pop_front();
                         t.remBytes = std::max<std::uint32_t>(
                             t.pkt.payloadBytes, 1);
-                        ns.staged[d].push_back(std::move(t));
+                        if ((dropArm_ > 0 ||
+                             faults_.dropProb > 0.0) &&
+                            shouldDrop(t)) {
+                            // Lost at the end of the crossing: the
+                            // wire bytes above are already spent.
+                            ++t.retries;
+                            scheduleRetransmit(i, d, std::move(t),
+                                               now);
+                        } else if (dupArm_ > 0 && t.pkt.id != 0) {
+                            --dupArm_;
+                            Transit copy = t;
+                            ++inFlight_;
+                            ns.staged[d].push_back(std::move(t));
+                            ns.staged[d].push_back(std::move(copy));
+                        } else {
+                            ns.staged[d].push_back(std::move(t));
+                        }
                     } else {
                         break; // partially sent; keeps the channel
                     }

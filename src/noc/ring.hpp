@@ -16,9 +16,11 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "noc/packet.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -45,6 +47,27 @@ struct RingParams {
     std::uint32_t injectQueueCap = 64;
     /** Packets a stop may eject per direction per cycle. */
     std::uint32_t ejectPerCycle = 2;
+};
+
+/**
+ * Link-level fault model (see src/fault/). A dropped packet is lost
+ * at the end of its link crossing — the wire bytes are already spent,
+ * as with a real CRC-fail-at-receiver — and the sender's NACK timer
+ * re-enqueues it at the head of the source queue after nackDelay.
+ * Once a packet has been retransmitted maxRetransmits times it rides
+ * a protected (assumed ECC-escorted) channel and can no longer drop,
+ * so delivery is guaranteed and faulted runs always drain.
+ */
+struct RingFaultParams {
+    /** Per-link-crossing drop probability (0 disables). */
+    double dropProb = 0.0;
+    /** Cycles from loss to the retransmission re-entering the queue. */
+    Cycle nackDelay = 12;
+    /** Drops after which a packet becomes undroppable. */
+    std::uint32_t maxRetransmits = 4;
+    /** Fault RNG (a named "fault.*" stream); not owned, may be null
+     *  when dropProb is 0. */
+    Rng *rng = nullptr;
 };
 
 /**
@@ -90,12 +113,51 @@ class Ring : public Ticking
     double utilisation(Cycle elapsed) const;
     std::uint64_t inFlight() const { return inFlight_; }
 
+    /** Enable/update the probabilistic link fault model. */
+    void setFaults(const RingFaultParams &faults);
+
+    /**
+     * Deterministic test hook: drop the next count eligible link
+     * crossings regardless of dropProb (each still NACKs/retransmits).
+     */
+    void armDrop(std::uint32_t count);
+
+    /**
+     * Deterministic test hook: duplicate the next count full link
+     * crossings of packets with a nonzero id. Arming (or a dup-capable
+     * campaign) also turns on receiver-side duplicate suppression.
+     */
+    void armDuplicate(std::uint32_t count);
+
+    /**
+     * Degrade the (stop, dir) link to factor x its normal budget until
+     * the given cycle (budgets are floored at one byte per cycle).
+     */
+    void degradeLink(std::uint32_t stop, std::uint32_t dir,
+                     double factor, Cycle until);
+
+    std::uint64_t faultDrops() const
+    { return static_cast<std::uint64_t>(drops_.value()); }
+    std::uint64_t retransmits() const
+    { return static_cast<std::uint64_t>(retransmits_.value()); }
+    std::uint64_t dupsSuppressed() const
+    { return static_cast<std::uint64_t>(dupsSuppressed_.value()); }
+
   private:
     struct Transit {
         Packet pkt;
         std::uint32_t dstStop = 0;
         std::uint32_t remBytes = 0;
         Cycle enqueued = 0;
+        /** Times this packet has been dropped and re-sent. */
+        std::uint32_t retries = 0;
+    };
+
+    struct Degrade {
+        std::uint32_t stop;
+        std::uint32_t dir;
+        double factor;
+        Cycle until;
     };
 
     struct Stop {
@@ -108,16 +170,35 @@ class Ring : public Ticking
 
     /** Queued payload bytes wanting to leave stop s in direction d. */
     std::uint64_t pendingBytes(const Stop &s, std::uint32_t d) const;
-    std::uint32_t dirBudget(const Stop &s, std::uint32_t d) const;
+    std::uint32_t dirBudget(const Stop &s, std::uint32_t stop_idx,
+                            std::uint32_t d, Cycle now) const;
     void eject(Stop &s, std::uint32_t stop_idx, Cycle now);
     /** Slice-quantised wire bytes a payload consumes. */
     std::uint32_t quantise(std::uint32_t bytes,
                            std::uint32_t slice) const;
+    /** Fault model: does this completed crossing get dropped? */
+    bool shouldDrop(const Transit &t);
+    /** NACK path: re-enqueue t at the source stop after nackDelay. */
+    void scheduleRetransmit(std::uint32_t src_stop, std::uint32_t d,
+                            Transit t, Cycle now);
+    /** Receiver dedup window: true when id was delivered recently. */
+    bool dedupSeen(std::uint64_t id);
+    void dedupRecord(std::uint64_t id);
 
     Simulator &sim_;
     RingParams params_;
     std::vector<Stop> stops_;
     std::uint64_t inFlight_ = 0;
+
+    RingFaultParams faults_;
+    std::uint32_t dropArm_ = 0;
+    std::uint32_t dupArm_ = 0;
+    /** Receiver-side dedup active (only once duplication is possible,
+     *  so clean runs pay nothing). */
+    bool dedupOn_ = false;
+    std::deque<std::uint64_t> dedupFifo_;
+    std::unordered_set<std::uint64_t> dedupSet_;
+    std::vector<Degrade> degrades_;
 
     Scalar delivered_;
     Scalar injected_;
@@ -125,6 +206,10 @@ class Ring : public Ticking
     Scalar bytesMoved_;
     Scalar wireBytesUsed_;
     Scalar cyclesTicked_;
+    Scalar drops_;
+    Scalar retransmits_;
+    Scalar dupsSuppressed_;
+    Scalar linkDegrades_;
     Average hopLatency_;
     Average occupancy_;
 };

@@ -14,6 +14,7 @@ MainScheduler::MainScheduler(Simulator &sim, MainSchedulerParams params,
       routed_(sim.stats(), stat_prefix + ".routed",
               "tasks routed to sub-rings")
 {
+    sim.addTicking(this);
 }
 
 void
@@ -76,7 +77,11 @@ MainScheduler::submit(const workloads::TaskSpec &task)
         return;
     }
     auto t = task;
-    sim_.events().schedule(ready, [this, t]() { route(t); });
+    ++pendingReleases_;
+    sim_.events().schedule(ready, [this, t]() {
+        --pendingReleases_;
+        route(t);
+    });
 }
 
 void

@@ -28,8 +28,15 @@ struct MainSchedulerParams {
     Cycle decisionLatency = 2;
 };
 
-/** Main scheduler: host-facing task distribution. */
-class MainScheduler
+/**
+ * Main scheduler: host-facing task distribution. A Ticking component
+ * only so that tasks held for a future release count as in-flight
+ * work: anyBusy() (the fault campaign's "workload still running"
+ * predicate) must stay true across release gaps, not just while a
+ * core is executing. The tick itself is a no-op — hand-off runs
+ * entirely on the event queue.
+ */
+class MainScheduler : public Ticking
 {
   public:
     /** Deliver a task to sub-ring target (e.g. via a NoC packet). */
@@ -58,6 +65,11 @@ class MainScheduler
     std::uint64_t tasksRouted() const
     { return static_cast<std::uint64_t>(routed_.value()); }
 
+    void tick(Cycle) override {}
+    bool busy() const override { return pendingReleases_ > 0; }
+    /** All work happens in release events; never tick. */
+    Cycle nextActiveCycle(Cycle) const override { return kNoCycle; }
+
   private:
     void route(const workloads::TaskSpec &task);
     std::uint32_t leastLoaded() const;
@@ -67,6 +79,8 @@ class MainScheduler
     std::vector<SubScheduler *> subs_;
     Transport transport_;
     Cycle nextFree_ = 0;
+    /** Tasks scheduled for a future release, not yet routed. */
+    std::uint64_t pendingReleases_ = 0;
 
     Scalar routed_;
 };

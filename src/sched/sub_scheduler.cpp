@@ -20,8 +20,17 @@ SubScheduler::SubScheduler(Simulator &sim, SubSchedulerParams params,
                   "tasks dispatched to cores"),
       misses_(sim.stats(), stat_prefix + ".deadlineMisses",
               "tasks finishing past their deadline"),
+      redispatches_(sim.stats(), stat_prefix + ".redispatches",
+                    "failed tasks dispatched again (recovery)"),
+      hangKills_(sim.stats(), stat_prefix + ".hangKills",
+                 "hung tasks killed by the heartbeat scan"),
+      tasksAbandoned_(sim.stats(), stat_prefix + ".tasksAbandoned",
+                      "failed tasks given up on"),
       queueDelay_(sim.stats(), stat_prefix + ".queueDelay",
-                  "mean cycles from release to dispatch")
+                  "mean cycles from release to dispatch"),
+      redispatchDelay_(sim.stats(), stat_prefix + ".redispatchDelay",
+                       "cycles from task failure to re-dispatch",
+                       0.0, 131072.0, 64)
 {
     sim.addTicking(this);
 }
@@ -45,6 +54,20 @@ void
 SubScheduler::setStageFn(StageFn stage)
 {
     stage_ = std::move(stage);
+}
+
+void
+SubScheduler::enableRecovery(const RecoveryParams &params)
+{
+    if (params.heartbeatInterval == 0 || params.hangTimeout == 0)
+        fatal("sub-scheduler %u: zero recovery interval", id_);
+    recovery_ = params;
+    recoveryOn_ = true;
+    for (core::TcgCore *core : cores_)
+        core->setTaskFailHandler(
+            [this](const workloads::TaskSpec &task, Cycle now) {
+                onTaskFailed(task, now);
+            });
 }
 
 void
@@ -89,6 +112,15 @@ SubScheduler::dispatchOne(const workloads::TaskSpec &task, Cycle now)
     ++dispatched_;
     queueDelay_.sample(static_cast<double>(now - task.release));
     ++inFlight_;
+    if (recoveryOn_) {
+        auto it = recov_.find(task.id);
+        if (it != recov_.end() && it->second.pendingRedispatch) {
+            it->second.pendingRedispatch = false;
+            ++redispatches_;
+            redispatchDelay_.sample(
+                static_cast<double>(now - it->second.failAt));
+        }
+    }
 
     const CoreId core_id = core->id();
     auto attach = [this, task, core, slot, now]() {
@@ -123,6 +155,10 @@ SubScheduler::dispatchOne(const workloads::TaskSpec &task, Cycle now)
                                   exit.metDeadline ? "true"
                                                    : "false"));
                 exits_.push_back(exit);
+                if (recoveryOn_) {
+                    watch_.erase(t.id);
+                    recov_.erase(t.id);
+                }
                 --inFlight_;
                 // A context freed up: a sleeping scheduler blocked on
                 // pickCore() can place the next task again.
@@ -135,6 +171,8 @@ SubScheduler::dispatchOne(const workloads::TaskSpec &task, Cycle now)
             --inFlight_;
             if (!table_.insert(task))
                 fatal("sub-scheduler %u: requeue overflow", id_);
+        } else if (recoveryOn_) {
+            watch_[task.id] = Watch{core, 0, sim_.now()};
         }
     };
 
@@ -145,8 +183,80 @@ SubScheduler::dispatchOne(const workloads::TaskSpec &task, Cycle now)
 }
 
 void
+SubScheduler::onTaskFailed(const workloads::TaskSpec &task, Cycle now)
+{
+    --inFlight_;
+    sim_.wake(this);
+    if (!recoveryOn_) {
+        ++tasksAbandoned_;
+        return;
+    }
+    watch_.erase(task.id);
+    Recov &r = recov_[task.id];
+    ++r.attempts;
+    if (r.attempts > recovery_.maxAttempts) {
+        ++tasksAbandoned_;
+        recov_.erase(task.id);
+        if (sim_.trace().enabled(TraceCat::Fault))
+            sim_.trace().instant(
+                TraceCat::Fault, "sched.abandon", now, 0,
+                strprintf("{\"task\":%llu}",
+                          static_cast<unsigned long long>(task.id)));
+        return;
+    }
+    const std::uint32_t shift =
+        std::min<std::uint32_t>(r.attempts - 1, 20);
+    const Cycle backoff = std::min<Cycle>(
+        recovery_.backoffBase << shift, recovery_.backoffMax);
+    r.failAt = now;
+    r.pendingRedispatch = true;
+    workloads::TaskSpec retry = task;
+    retry.release = now + backoff;
+    if (!table_.insert(retry))
+        fatal("sub-scheduler %u: recovery requeue overflow", id_);
+    if (sim_.trace().enabled(TraceCat::Fault))
+        sim_.trace().instant(
+            TraceCat::Fault, "sched.retry", now, 0,
+            strprintf("{\"task\":%llu,\"attempt\":%u,"
+                      "\"backoff\":%llu}",
+                      static_cast<unsigned long long>(task.id),
+                      r.attempts,
+                      static_cast<unsigned long long>(backoff)));
+}
+
+void
+SubScheduler::heartbeat(Cycle now)
+{
+    nextHeartbeat_ = now + recovery_.heartbeatInterval;
+    // Collect victims first: killTask() re-enters this scheduler
+    // through the failure handler, which mutates watch_/recov_.
+    std::vector<std::pair<TaskId, core::TcgCore *>> victims;
+    for (auto &[tid, w] : watch_) {
+        const std::uint64_t ops = w.core->taskProgress(tid);
+        if (ops == core::TcgCore::kNoTask)
+            continue; // between staging and attach
+        if (ops != w.lastOps) {
+            w.lastOps = ops;
+            w.lastChange = now;
+        } else if (now - w.lastChange >= recovery_.hangTimeout) {
+            victims.emplace_back(tid, w.core);
+        }
+    }
+    for (auto &[tid, core] : victims) {
+        ++hangKills_;
+        watch_.erase(tid);
+        core->killTask(tid, now);
+    }
+}
+
+void
 SubScheduler::tick(Cycle now)
 {
+    // Cycle-gated so both kernel modes run the scan at the same
+    // cycles regardless of how often the scheduler ticks.
+    if (recoveryOn_ && !watch_.empty() && now >= nextHeartbeat_)
+        heartbeat(now);
+
     if (params_.policy == SchedPolicy::HardwareLaxity) {
         if (table_.empty() || now < nextDecision_)
             return;
@@ -207,14 +317,17 @@ SubScheduler::busy() const
 Cycle
 SubScheduler::nextActiveCycle(Cycle now) const
 {
+    Cycle hb = kNoCycle;
+    if (recoveryOn_ && !watch_.empty())
+        hb = std::max(now + 1, nextHeartbeat_);
     if (params_.policy == SchedPolicy::SoftwareDeadline)
-        return std::max(now + 1, nextQuantum_);
+        return std::min(hb, std::max(now + 1, nextQuantum_));
     if (table_.empty())
-        return kNoCycle; // submit() wakes us
+        return hb; // submit() wakes us
     if (pickCore() < 0)
-        return kNoCycle; // a task exit frees a context and wakes us
-    return std::max({now + 1, nextDecision_,
-                     table_.earliestRelease()});
+        return hb; // a task exit frees a context and wakes us
+    return std::min(hb, std::max({now + 1, nextDecision_,
+                                  table_.earliestRelease()}));
 }
 
 std::uint64_t

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,25 @@ struct SubSchedulerParams {
     /** Serial software cost per dispatched task. */
     Cycle swDispatchOverhead = 120;
     std::uint32_t chainCapacity = 512;
+};
+
+/**
+ * Heartbeat/timeout recovery knobs (see src/fault/). The scheduler
+ * samples the committed-op counter of every in-flight task each
+ * heartbeat; a task whose counter is frozen for hangTimeout cycles is
+ * killed and re-dispatched with bounded exponential backoff. The
+ * timeout must comfortably exceed the longest legitimate memory stall
+ * (including injected DRAM stall windows) — a false positive only
+ * costs a re-run, but each one wastes the work done so far.
+ */
+struct RecoveryParams {
+    Cycle heartbeatInterval = 10'000;
+    Cycle hangTimeout = 60'000;
+    /** Re-dispatch backoff: min(base << (attempt-1), max). */
+    Cycle backoffBase = 500;
+    Cycle backoffMax = 32'000;
+    /** Failed attempts after which the task is abandoned. */
+    std::uint32_t maxAttempts = 8;
 };
 
 /** Record of one completed task (Fig. 21 raw data). */
@@ -86,6 +106,20 @@ class SubScheduler : public Ticking
     /** Enqueue a task for dispatch (from the main scheduler). */
     void submit(const workloads::TaskSpec &task);
 
+    /**
+     * Turn on heartbeat hang detection and kill/re-dispatch recovery,
+     * and install this scheduler as the failure handler of its cores.
+     * Off by default: a fault-free run pays nothing.
+     */
+    void enableRecovery(const RecoveryParams &params);
+
+    std::uint64_t redispatches() const
+    { return static_cast<std::uint64_t>(redispatches_.value()); }
+    std::uint64_t tasksAbandoned() const
+    { return static_cast<std::uint64_t>(tasksAbandoned_.value()); }
+    std::uint64_t hangKills() const
+    { return static_cast<std::uint64_t>(hangKills_.value()); }
+
     void tick(Cycle now) override;
     bool busy() const override;
     /**
@@ -111,6 +145,23 @@ class SubScheduler : public Ticking
     void dispatchOne(const workloads::TaskSpec &task, Cycle now);
     /** Core with the most unreserved free contexts; -1 when none. */
     std::int32_t pickCore() const;
+    /** Recovery: a core reported the task killed (not completed). */
+    void onTaskFailed(const workloads::TaskSpec &task, Cycle now);
+    /** Heartbeat scan: kill tasks whose progress counter froze. */
+    void heartbeat(Cycle now);
+
+    /** Progress snapshot of one watched in-flight task. */
+    struct Watch {
+        core::TcgCore *core = nullptr;
+        std::uint64_t lastOps = 0;
+        Cycle lastChange = 0;
+    };
+    /** Re-dispatch bookkeeping of one failed task. */
+    struct Recov {
+        std::uint32_t attempts = 0;
+        Cycle failAt = 0;
+        bool pendingRedispatch = false;
+    };
 
     Simulator &sim_;
     SubSchedulerParams params_;
@@ -127,10 +178,21 @@ class SubScheduler : public Ticking
     std::uint64_t inFlight_ = 0; ///< staged/running, not yet finished
     std::vector<TaskExit> exits_;
 
+    bool recoveryOn_ = false;
+    RecoveryParams recovery_;
+    Cycle nextHeartbeat_ = 0;
+    /** In-flight watched tasks (ordered: deterministic iteration). */
+    std::map<TaskId, Watch> watch_;
+    std::map<TaskId, Recov> recov_;
+
     Scalar submitted_;
     Scalar dispatched_;
     Scalar misses_;
+    Scalar redispatches_;
+    Scalar hangKills_;
+    Scalar tasksAbandoned_;
     Average queueDelay_;
+    Histogram redispatchDelay_;
 };
 
 } // namespace smarco::sched

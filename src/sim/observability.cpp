@@ -62,6 +62,14 @@ parseObsFlag(const std::string &arg)
         o.noFastForward = true;
         return true;
     }
+    if (flagValue(arg, "--faults", v)) {
+        o.faultsPath = v;
+        return true;
+    }
+    if (flagValue(arg, "--fault-seed", v)) {
+        o.faultSeed = std::strtoull(v.c_str(), nullptr, 10);
+        return true;
+    }
     return false;
 }
 
@@ -81,6 +89,10 @@ obsInitFromEnv()
         o.samplePath = v;
     if (const char *v = std::getenv("SMARCO_NO_FAST_FORWARD"))
         o.noFastForward = *v != '\0' && *v != '0';
+    if (const char *v = std::getenv("SMARCO_FAULTS"))
+        o.faultsPath = v;
+    if (const char *v = std::getenv("SMARCO_FAULT_SEED"))
+        o.faultSeed = std::strtoull(v, nullptr, 10);
 }
 
 namespace {

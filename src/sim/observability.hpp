@@ -14,6 +14,8 @@
  *   --sample-interval=N      SMARCO_SAMPLE_INTERVAL   cycles
  *   --sample-out=PATH        SMARCO_SAMPLE_OUT        .csv or .json
  *   --no-fast-forward        SMARCO_NO_FAST_FORWARD   tick every cycle
+ *   --faults=PATH            SMARCO_FAULTS            campaign JSON
+ *   --fault-seed=N           SMARCO_FAULT_SEED        campaign seed
  *
  * Each Simulator constructed while an output is configured becomes
  * one "run": its stats land as one object in the stats JSON, its
@@ -42,7 +44,12 @@ struct ObsOptions {
     /** Disable the quiescence fast-forward kernel (escape hatch /
      *  slow reference mode for the golden-stats harness). */
     bool noFastForward = false;
+    /** Fault campaign JSON spec; empty = no faults (see src/fault/). */
+    std::string faultsPath;
+    /** Seed for the campaign's named "fault.*" RNG streams. */
+    std::uint64_t faultSeed = 1;
 
+    bool faultsWanted() const { return !faultsPath.empty(); }
     bool statsWanted() const { return !statsJsonPath.empty(); }
     bool traceWanted() const { return !tracePath.empty(); }
     bool samplingWanted() const { return sampleInterval > 0; }

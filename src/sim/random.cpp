@@ -51,6 +51,24 @@ Rng::next()
 }
 
 std::uint64_t
+rngStreamId(std::string_view name)
+{
+    // FNV-1a, 64-bit: stable across platforms and runs.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+Rng
+namedRng(std::uint64_t seed, std::string_view name)
+{
+    return Rng(seed, rngStreamId(name));
+}
+
+std::uint64_t
 Rng::nextBelow(std::uint64_t bound)
 {
     if (bound == 0)

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace smarco {
@@ -45,6 +46,22 @@ class Rng
   private:
     std::uint64_t s_[4];
 };
+
+/**
+ * Stable 64-bit stream id for a named random stream (FNV-1a over the
+ * name). Components that want an Rng decoupled from every numeric
+ * stream id in the codebase derive theirs from a string instead:
+ * adding a new named stream can never collide with or renumber the
+ * positional ids handed out by chip construction.
+ */
+std::uint64_t rngStreamId(std::string_view name);
+
+/**
+ * Rng for the named stream under the given experiment seed. The fault
+ * subsystem draws exclusively from named streams ("fault.*") so that
+ * arming a campaign never perturbs workload or scheduler draws.
+ */
+Rng namedRng(std::uint64_t seed, std::string_view name);
 
 /**
  * Discrete distribution over arbitrary weights, sampled by inverse

@@ -121,6 +121,20 @@ class Simulator
     bool finishedIdle() const { return finishedIdle_; }
 
     /**
+     * True when any registered component reports in-flight work.
+     * External controllers (e.g. the fault campaign's watchdog and
+     * dispatcher) use this to tell "workload still running" apart from
+     * "only my own pending events keep the queue non-empty".
+     */
+    bool anyBusy() const
+    {
+        for (const Ticking *t : ticking_)
+            if (t->busy())
+                return true;
+        return false;
+    }
+
+    /**
      * Return a sleeping component to the active set (idempotent; a
      * no-op for components registered to another simulator). Called
      * by components from their stimulus entry points.

@@ -103,6 +103,28 @@ Histogram::bucketLow(std::size_t i) const
     return lo_ + width_ * static_cast<double>(i);
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(count_);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double w = static_cast<double>(buckets_[i]);
+        if (w == 0.0)
+            continue;
+        if (seen + w >= target) {
+            const double frac = w > 0.0 ? (target - seen) / w : 0.0;
+            const double v = bucketLow(i) + width_ * frac;
+            return std::clamp(v, min_, max_);
+        }
+        seen += w;
+    }
+    return max_;
+}
+
 void
 Histogram::reset()
 {
@@ -135,6 +157,9 @@ Histogram::printJson(std::ostream &os) const
        << ",\"lo\":" << json::num(lo_)
        << ",\"hi\":" << json::num(hi_)
        << ",\"bucketWidth\":" << json::num(width_)
+       << ",\"p50\":" << json::num(percentile(0.50))
+       << ",\"p95\":" << json::num(percentile(0.95))
+       << ",\"p99\":" << json::num(percentile(0.99))
        << ",\"buckets\":[";
     for (std::size_t i = 0; i < buckets_.size(); ++i)
         os << (i ? "," : "") << buckets_[i];

@@ -125,6 +125,14 @@ class Histogram : public Stat
     std::uint64_t count() const { return count_; }
     double minSample() const { return min_; }
     double maxSample() const { return max_; }
+
+    /**
+     * p-quantile estimate in [0, 1], linearly interpolated within the
+     * containing bucket and clamped to the observed [min, max] (so
+     * edge-bucket saturation cannot report values never sampled).
+     * Returns 0 when the histogram is empty.
+     */
+    double percentile(double p) const;
     double stddev() const;
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     double bucketLow(std::size_t i) const;

@@ -10,13 +10,14 @@ namespace smarco {
 
 namespace {
 
-constexpr std::array<std::pair<TraceCat, const char *>, 6> kCatNames{{
+constexpr std::array<std::pair<TraceCat, const char *>, 7> kCatNames{{
     {TraceCat::Core, "core"},
     {TraceCat::Noc, "noc"},
     {TraceCat::Mem, "mem"},
     {TraceCat::Sched, "sched"},
     {TraceCat::Runtime, "runtime"},
     {TraceCat::Sim, "sim"},
+    {TraceCat::Fault, "fault"},
 }};
 
 /** Shared prefix of every event: name, category, pid/tid. */

@@ -32,10 +32,11 @@ enum class TraceCat : std::uint32_t {
     Sched   = 1u << 3, ///< main/sub scheduler routing and task spans
     Runtime = 1u << 4, ///< programming frameworks (MapReduce phases)
     Sim     = 1u << 5, ///< kernel: run spans, interval-sampler counters
+    Fault   = 1u << 6, ///< fault campaign: injections, recoveries
 };
 
 /** Bitmask covering every category. */
-inline constexpr std::uint32_t kAllTraceCats = 0x3f;
+inline constexpr std::uint32_t kAllTraceCats = 0x7f;
 
 /** Lower-case name of a single category ("core", "noc", ...). */
 const char *traceCatName(TraceCat cat);

@@ -171,7 +171,7 @@ TEST(GoldenStats, UnsampledStatsSerializeExplicitZeros)
         "\"desc\":\"never incremented\"},\n"
         "\"idle.hist\":{\"kind\":\"histogram\",\"value\":0,"
         "\"desc\":\"never sampled\",\"count\":0,\"stddev\":0,"
-        "\"min\":0,\"max\":0,\"lo\":0,\"hi\":10,\"bucketWidth\":5,"
+        "\"min\":0,\"max\":0,\"lo\":0,\"hi\":10,\"bucketWidth\":5,\"p50\":0,\"p95\":0,\"p99\":0,"
         "\"buckets\":[0,0]}\n"
         "}";
     EXPECT_EQ(os.str(), expected);

@@ -446,10 +446,12 @@ TEST(Trace, CategoryParsing)
     EXPECT_EQ(parseTraceCategories("core,noc"),
               static_cast<std::uint32_t>(TraceCat::Core) |
                   static_cast<std::uint32_t>(TraceCat::Noc));
-    EXPECT_EQ(parseTraceCategories("mem,sched,runtime,sim"),
+    EXPECT_EQ(parseTraceCategories("mem,sched,runtime,sim,fault"),
               kAllTraceCats &
                   ~(static_cast<std::uint32_t>(TraceCat::Core) |
                     static_cast<std::uint32_t>(TraceCat::Noc)));
+    EXPECT_EQ(parseTraceCategories("fault"),
+              static_cast<std::uint32_t>(TraceCat::Fault));
     // Unknown names warn and are ignored.
     EXPECT_EQ(parseTraceCategories("core,bogus"),
               static_cast<std::uint32_t>(TraceCat::Core));

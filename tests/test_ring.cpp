@@ -214,3 +214,142 @@ TEST_F(RingFixture, ManyToManyTrafficAllDelivered)
     EXPECT_EQ(delivered, injected);
     EXPECT_EQ(injected, int(params.numStops * (params.numStops - 1)));
 }
+
+// ---------------------------------------------------------------------
+// Link fault model: drop -> NACK -> retransmit (see src/fault/).
+
+TEST_F(RingFixture, DropNackRetransmitDeliversExactlyOnce)
+{
+    // Run the same single-packet route clean and with one armed drop;
+    // the faulted delivery must arrive at least nackDelay later and
+    // exactly once.
+    Cycle clean_arrive = 0, fault_arrive = 0;
+    for (int mode = 0; mode < 2; ++mode) {
+        Simulator s;
+        Ring ring(s, params, mode == 0 ? "clean" : "faulted");
+        if (mode == 1) {
+            RingFaultParams rf;
+            rf.nackDelay = 12;
+            ring.setFaults(rf);
+            ring.armDrop(1);
+        }
+        int delivered = 0;
+        Cycle arrive = 0;
+        ring.setHandler(3, [&](Packet &&) {
+            ++delivered;
+            arrive = s.now();
+        });
+        Packet q;
+        q.payloadBytes = 8;
+        q.id = 7;
+        ASSERT_TRUE(ring.inject(0, 3, std::move(q)));
+        s.run(500);
+        EXPECT_EQ(delivered, 1);
+        if (mode == 0) {
+            clean_arrive = arrive;
+            EXPECT_EQ(ring.faultDrops(), 0u);
+        } else {
+            fault_arrive = arrive;
+            EXPECT_EQ(ring.faultDrops(), 1u);
+            EXPECT_EQ(ring.retransmits(), 1u);
+            EXPECT_EQ(ring.inFlight(), 0u);
+        }
+    }
+    EXPECT_GE(fault_arrive, clean_arrive + 12);
+}
+
+TEST_F(RingFixture, DuplicateDeliveredOnceAndSuppressed)
+{
+    auto ring = make();
+    ring->armDuplicate(1);
+    int delivered = 0;
+    ring->setHandler(5, [&](Packet &&) { ++delivered; });
+    Packet q = pkt(8);
+    q.id = 42;
+    ASSERT_TRUE(ring->inject(0, 5, std::move(q)));
+    sim.run(500);
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(ring->dupsSuppressed(), 1u);
+    EXPECT_EQ(ring->inFlight(), 0u);
+}
+
+TEST_F(RingFixture, RetransmitPaysSlicedLinkBandwidth)
+{
+    // Drops happen at the end of a crossing (CRC fail at the
+    // receiver), so the dropped crossing's wire bytes are spent. On a
+    // one-hop route the faulted run must burn exactly twice the
+    // clean run's wire bytes: one wasted crossing + the retransmit.
+    double clean_bytes = 0.0, fault_bytes = 0.0;
+    for (int mode = 0; mode < 2; ++mode) {
+        Simulator s;
+        Ring ring(s, params, "r");
+        if (mode == 1)
+            ring.armDrop(1);
+        int delivered = 0;
+        ring.setHandler(1, [&](Packet &&) { ++delivered; });
+        Packet q;
+        q.payloadBytes = 8;
+        q.id = 9;
+        ASSERT_TRUE(ring.inject(0, 1, std::move(q)));
+        s.run(500);
+        EXPECT_EQ(delivered, 1);
+        (mode == 0 ? clean_bytes : fault_bytes) =
+            s.stats().get("r.wireBytesUsed").value();
+    }
+    EXPECT_GT(clean_bytes, 0.0);
+    EXPECT_EQ(fault_bytes, 2.0 * clean_bytes);
+}
+
+TEST_F(RingFixture, MaxRetransmitsProtectsDelivery)
+{
+    // A packet that has been retransmitted maxRetransmits times is
+    // protected from further drops, so even an absurd standing drop
+    // arm cannot livelock it.
+    auto ring = make();
+    RingFaultParams rf;
+    rf.nackDelay = 4;
+    rf.maxRetransmits = 3;
+    ring->setFaults(rf);
+    ring->armDrop(1000);
+    int delivered = 0;
+    ring->setHandler(2, [&](Packet &&) { ++delivered; });
+    Packet q = pkt(8);
+    q.id = 11;
+    ASSERT_TRUE(ring->inject(0, 2, std::move(q)));
+    sim.run(5000);
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(ring->inFlight(), 0u);
+    EXPECT_LE(ring->faultDrops(), 3u * 2u); // <= retries x hops
+}
+
+TEST_F(RingFixture, DegradedLinkSlowsThenRecovers)
+{
+    // Degrading the (0, dir 0) link to a tiny fraction during the
+    // window slows a transfer; after the window the same transfer
+    // runs at full speed again.
+    auto ring = make();
+    ring->degradeLink(0, 0, 0.05, 200);
+    Cycle first = 0, second = 0;
+    int phase = 0;
+    ring->setHandler(1, [&](Packet &&) {
+        (phase == 0 ? first : second) = sim.now();
+    });
+    ring->inject(0, 1, pkt(64));
+    // The second inject is scheduled past the degrade window (the run
+    // would otherwise go idle and stop before cycle 200).
+    const Cycle start2 = 300;
+    Ring *r = ring.get();
+    Simulator *s = &sim;
+    sim.events().schedule(start2, [r, s, &phase] {
+        phase = 1;
+        Packet q;
+        q.payloadBytes = 64;
+        q.priority = false;
+        q.created = s->now();
+        r->inject(0, 1, std::move(q));
+    });
+    sim.run(1000);
+    ASSERT_GT(first, 0u);
+    ASSERT_GT(second, start2);
+    EXPECT_LT(second - start2, first);
+}
