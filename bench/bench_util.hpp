@@ -41,24 +41,10 @@ note(const char *text)
     std::printf("  %s\n", text);
 }
 
-/**
- * When the run was launched with --faults=campaign.json, build the
- * campaign and arm it with the chip's targets. Returns null (and
- * does nothing) otherwise. The caller keeps the campaign alive for
- * the duration of the run.
- */
-template <typename Chip>
-inline std::unique_ptr<fault::FaultCampaign>
-armFaultsFromCli(Simulator &sim, Chip &chip)
-{
-    if (!obsOptions().faultsWanted())
-        return nullptr;
-    auto campaign = std::make_unique<fault::FaultCampaign>(
-        sim, fault::FaultSpec::fromJsonFile(obsOptions().faultsPath),
-        obsOptions().faultSeed);
-    campaign->arm(chip.faultTargets());
-    return campaign;
-}
+// Campaign construction from --faults/--fault-seed lives with the
+// fault subsystem so examples get it too; keep the old bench-local
+// name working.
+using fault::armFaultsFromCli;
 
 /** Result of one SmarCo chip run. */
 struct SmarcoRun {

@@ -16,6 +16,7 @@
 #include "baseline/baseline_chip.hpp"
 #include "chip/chip_config.hpp"
 #include "chip/smarco_chip.hpp"
+#include "fault/fault_campaign.hpp"
 #include "power/power_model.hpp"
 #include "workloads/cdn.hpp"
 #include "workloads/task.hpp"
@@ -61,6 +62,7 @@ main(int argc, char **argv)
         tp.count = chunks;
         tp.seed = 3;
         host.spawnWorkers(48, workloads::makeTaskSet(host_profile, tp));
+        auto campaign = fault::armFaultsFromCli(sim, host);
         sim.run(2'000'000'000);
         const auto m = host.metrics();
         xeon_rate = m.tasksPerMCycle * params.freqGHz; // tasks/ms
@@ -79,6 +81,7 @@ main(int argc, char **argv)
         tp.count = chunks;
         tp.seed = 3;
         accel.submit(workloads::makeTaskSet(accel_profile, tp));
+        auto campaign = fault::armFaultsFromCli(sim, accel);
         accel.runUntilDone();
         const auto m = accel.metrics();
         smarco_rate = m.tasksPerMCycle * cfg.freqGHz;

@@ -19,6 +19,7 @@
 
 #include "chip/chip_config.hpp"
 #include "chip/smarco_chip.hpp"
+#include "fault/fault_campaign.hpp"
 #include "runtime/mapreduce.hpp"
 #include "workloads/profile.hpp"
 
@@ -93,6 +94,7 @@ main(int argc, char **argv)
         },
         cfg);
 
+    auto campaign = fault::armFaultsFromCli(sim, chip);
     const auto counts = job.run(chip, input);
 
     // Top-10 words by count.

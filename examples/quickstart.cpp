@@ -17,6 +17,7 @@
 
 #include "chip/chip_config.hpp"
 #include "chip/smarco_chip.hpp"
+#include "fault/fault_campaign.hpp"
 #include "workloads/profile.hpp"
 #include "workloads/task.hpp"
 
@@ -51,6 +52,9 @@ main(int argc, char **argv)
     tp.count = num_tasks;
     tp.seed = 42;
     chip.submit(workloads::makeTaskSet(profile, tp));
+
+    // Optional: --faults=campaign.json arms a fault campaign.
+    auto campaign = fault::armFaultsFromCli(sim, chip);
 
     // 5. Run until the chip drains.
     const Cycle end = chip.runUntilDone();

@@ -18,6 +18,7 @@
 
 #include "chip/chip_config.hpp"
 #include "chip/smarco_chip.hpp"
+#include "fault/fault_campaign.hpp"
 #include "workloads/profile.hpp"
 #include "workloads/task.hpp"
 
@@ -55,6 +56,7 @@ serve(sched::SchedPolicy policy, std::uint64_t num_tasks,
     tp.deadline = deadline;
     tp.realtime = true; // superior real-time priority class
     chip.submit(workloads::makeTaskSet(prof, tp));
+    auto campaign = fault::armFaultsFromCli(sim, chip);
     chip.runUntilDone();
 
     Outcome out;

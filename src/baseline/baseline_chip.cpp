@@ -156,12 +156,45 @@ BaselineChip::injectTask(const workloads::TaskSpec &task)
 }
 
 void
+BaselineChip::enableAdmission(std::uint32_t queue_cap,
+                              double latency_hist_max)
+{
+    if (queue_cap == 0)
+        fatal("baseline: zero admission queue cap");
+    admissionOn_ = true;
+    bagCap_ = queue_cap;
+    shedQueueFull_ = std::make_unique<Scalar>(
+        sim_.stats(), "base.shedQueueFull",
+        "tasks refused: shared bag at capacity");
+    tasksExpired_ = std::make_unique<Scalar>(
+        sim_.stats(), "base.tasksExpired",
+        "queued tasks dropped: deadline became unreachable");
+    e2eLatency_ = std::make_unique<Histogram>(
+        sim_.stats(), "base.e2eLatency",
+        "release-to-completion latency of completed tasks (cycles)",
+        0.0, latency_hist_max, 64);
+}
+
+bool
+BaselineChip::tryInjectTask(const workloads::TaskSpec &task)
+{
+    if (admissionOn_ && bag_.size() >= bagCap_) {
+        ++*shedQueueFull_;
+        return false;
+    }
+    bag_.push_back(task);
+    return true;
+}
+
+void
 BaselineChip::taskDone(SwThread &t, Cycle now)
 {
     ++tasksDone_;
     lastTaskFinish_ = std::max(lastTaskFinish_, now);
     if (t.hasTask && t.task.hasDeadline() && now > t.task.deadline)
         ++deadlineMisses_;
+    if (admissionOn_ && t.hasTask)
+        e2eLatency_->sample(static_cast<double>(now - t.task.release));
     nextTask(t, now);
 }
 
@@ -261,6 +294,16 @@ BaselineChip::nextTask(SwThread &t, Cycle now)
     if (t.hasTask) {
         t.hasTask = false;
         --activeTasks_;
+    }
+    // Early drop: don't burn a worker's time (taskPopCost plus the
+    // whole task body) on requests that can no longer meet their
+    // deadline; goodput under overload comes from this triage.
+    while (admissionOn_ && !bag_.empty()) {
+        const workloads::TaskSpec &head = bag_.front();
+        if (!head.hasDeadline() || now + head.numOps <= head.deadline)
+            break;
+        ++*tasksExpired_;
+        bag_.pop_front();
     }
     if (bag_.empty()) {
         // Worker parks on the empty queue and polls again shortly

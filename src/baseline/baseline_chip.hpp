@@ -119,6 +119,33 @@ class BaselineChip : public Ticking
     /** Append tasks to the shared bag while workers run (CDN). */
     void injectTask(const workloads::TaskSpec &task);
 
+    /**
+     * Overload control for open-loop injection: bound the shared bag
+     * at queue_cap tasks and, at pop time, drop queued tasks whose
+     * deadline has become unreachable (the software analogue of the
+     * SmarCo schedulers' admission + early-drop). Also records an
+     * end-to-end latency histogram of completions. Off by default —
+     * an uncontrolled run keeps its stats dump byte-identical.
+     */
+    void enableAdmission(std::uint32_t queue_cap,
+                         double latency_hist_max = 4'000'000.0);
+
+    /**
+     * Bounded-bag injection: false when admission is on and the bag
+     * is full (the caller owns the retry policy — never drop
+     * silently). Without admission this always succeeds.
+     */
+    bool tryInjectTask(const workloads::TaskSpec &task);
+
+    std::uint64_t tasksShed() const
+    { return shedQueueFull_
+          ? static_cast<std::uint64_t>(shedQueueFull_->value())
+          : 0; }
+    std::uint64_t tasksExpired() const
+    { return tasksExpired_
+          ? static_cast<std::uint64_t>(tasksExpired_->value())
+          : 0; }
+
     void tick(Cycle now) override;
     bool busy() const override;
     /** A chip with no live software thread sleeps until spawn. */
@@ -213,6 +240,8 @@ class BaselineChip : public Ticking
     std::uint64_t activeTasks_ = 0;   ///< threads mid-task
     std::uint64_t startingCount_ = 0; ///< threads not yet created
     bool persistent_ = false;         ///< CDN-style worker pool
+    bool admissionOn_ = false;
+    std::uint32_t bagCap_ = 0;
     bool recoveryOn_ = false;
     Cycle recoveryInterval_ = 10'000;
     Cycle recoveryTimeout_ = 60'000;
@@ -235,6 +264,10 @@ class BaselineChip : public Ticking
     Average l1Latency_;
     Average l2Latency_;
     Average llcLatency_;
+    // Lazily created on enableAdmission() (see that method's doc).
+    std::unique_ptr<Scalar> shedQueueFull_;
+    std::unique_ptr<Scalar> tasksExpired_;
+    std::unique_ptr<Histogram> e2eLatency_;
 };
 
 } // namespace smarco::baseline

@@ -100,12 +100,16 @@ SmarcoChip::SmarcoChip(Simulator &sim, ChipConfig cfg)
                    const workloads::TaskSpec &task) {
                 if (task.hookId == 0)
                     return;
-                auto it = taskHooks_.find(task.hookId);
-                if (it == taskHooks_.end())
+                auto it = requestHooks_.find(task.hookId);
+                if (it == requestHooks_.end())
                     return;
-                TaskHook hook = std::move(it->second);
-                taskHooks_.erase(it);
-                hook(task, exit.finish, exit.core);
+                RequestHook hook = std::move(it->second);
+                requestHooks_.erase(it);
+                RequestResult res;
+                res.completed = true;
+                res.when = exit.finish;
+                res.core = exit.core;
+                hook(task, res);
             });
     }
 
@@ -194,10 +198,62 @@ void
 SmarcoChip::submitWithHook(const workloads::TaskSpec &task,
                            TaskHook hook)
 {
+    submitRequest(task,
+                  [hook = std::move(hook)](
+                      const workloads::TaskSpec &t,
+                      const RequestResult &res) {
+                      if (res.completed)
+                          hook(t, res.when, res.core);
+                  });
+}
+
+void
+SmarcoChip::submitRequest(const workloads::TaskSpec &task,
+                          RequestHook hook)
+{
     workloads::TaskSpec t = task;
     t.hookId = nextHookId_++;
-    taskHooks_.emplace(t.hookId, std::move(hook));
+    requestHooks_.emplace(t.hookId, std::move(hook));
     mainSched_->submit(t);
+}
+
+void
+SmarcoChip::onShed(const workloads::TaskSpec &task,
+                   sched::ShedReason reason, Cycle now)
+{
+    if (task.hookId == 0)
+        return;
+    auto it = requestHooks_.find(task.hookId);
+    if (it == requestHooks_.end())
+        return;
+    RequestHook hook = std::move(it->second);
+    requestHooks_.erase(it);
+    RequestResult res;
+    res.completed = false;
+    res.when = now;
+    res.reason = reason;
+    hook(task, res);
+}
+
+void
+SmarcoChip::enableOverloadControl(const sched::AdmissionParams &params)
+{
+    if (params.subQueueCap > cfg_.subSched.chainCapacity)
+        fatal("chip %s: admission cap %u exceeds chain capacity %u",
+              cfg_.name.c_str(), params.subQueueCap,
+              cfg_.subSched.chainCapacity);
+    mainSched_->enableAdmission(params);
+    auto on_shed = [this](const workloads::TaskSpec &task,
+                          sched::ShedReason reason, Cycle now) {
+        onShed(task, reason, now);
+    };
+    mainSched_->setShedCallback(on_shed);
+    for (auto &s : subScheds_)
+        s->enableShedding(on_shed);
+    if (sim_.sampler().interval() > 0)
+        sim_.sampler().addProbe("sched.shed", [this]() {
+            return static_cast<double>(mainSched_->tasksShed());
+        });
 }
 
 Cycle

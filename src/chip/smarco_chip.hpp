@@ -72,6 +72,32 @@ class SmarcoChip : public core::MemPort
     void submitTo(std::uint32_t sub_ring,
                   const workloads::TaskSpec &task);
 
+    /** Terminal outcome of one submitted request. */
+    struct RequestResult {
+        bool completed = false;
+        /** Finish cycle (completed) or shed cycle (rejected). */
+        Cycle when = 0;
+        CoreId core = 0;
+        /** Valid only when !completed. */
+        sched::ShedReason reason = sched::ShedReason::QueueFull;
+    };
+    /** Observer called exactly once per request: on completion, or
+     *  when admission control / load shedding rejects it. */
+    using RequestHook = std::function<void(const workloads::TaskSpec &,
+                                           const RequestResult &)>;
+
+    /**
+     * Turn on end-to-end overload control: admission + degraded-mode
+     * shedding at the main scheduler and deadline early-drop at every
+     * sub-scheduler, all reported through the request hooks. Off by
+     * default — an uncontrolled run is byte-identical to older builds.
+     */
+    void enableOverloadControl(const sched::AdmissionParams &params);
+
+    /** Submit one request and observe its terminal outcome. */
+    void submitRequest(const workloads::TaskSpec &task,
+                       RequestHook hook);
+
     /**
      * Run until all submitted work has drained (or max_cycles).
      * @return the cycle the run stopped at.
@@ -128,6 +154,9 @@ class SmarcoChip : public core::MemPort
     void handleGatewayPacket(std::uint32_t gw, noc::Packet &&pkt);
     bool interceptAtGateway(std::uint32_t gw, noc::Packet &pkt);
     void onMactBatch(std::uint32_t gw, mem::MactBatch &&batch);
+    /** A scheduler shed a request: resolve its outcome hook. */
+    void onShed(const workloads::TaskSpec &task,
+                sched::ShedReason reason, Cycle now);
     void stageTask(CoreId core, const workloads::TaskSpec &task,
                    std::function<void()> ready);
     void dmaChunk(CoreId core, Addr src, Addr dst,
@@ -152,8 +181,8 @@ class SmarcoChip : public core::MemPort
     /** Tasks in flight between main scheduler and gateways. */
     std::unordered_map<std::uint64_t, workloads::TaskSpec> taskWire_;
     std::uint64_t nextTaskWire_ = 1;
-    /** Completion hooks keyed by TaskSpec::hookId. */
-    std::unordered_map<std::uint64_t, TaskHook> taskHooks_;
+    /** Outcome hooks keyed by TaskSpec::hookId. */
+    std::unordered_map<std::uint64_t, RequestHook> requestHooks_;
     std::uint64_t nextHookId_ = 1;
 
     Scalar memRequests_;

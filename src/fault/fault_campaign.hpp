@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fault/fault_spec.hpp"
+#include "sim/observability.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -161,5 +162,26 @@ class FaultCampaign
     std::array<std::unique_ptr<Scalar>, kNumFaultKinds> byKind_;
     std::unique_ptr<FaultLog> log_;
 };
+
+/**
+ * When the process was launched with --faults=campaign.json, build a
+ * campaign from the CLI options and arm it with the chip's targets;
+ * return null (and do nothing) otherwise. Works with any chip that
+ * exposes faultTargets(). The caller keeps the campaign alive for
+ * the duration of the run. Every bench and example routes through
+ * this, so --faults / --fault-seed behave uniformly everywhere.
+ */
+template <typename Chip>
+inline std::unique_ptr<FaultCampaign>
+armFaultsFromCli(Simulator &sim, Chip &chip)
+{
+    if (!obsOptions().faultsWanted())
+        return nullptr;
+    auto campaign = std::make_unique<FaultCampaign>(
+        sim, FaultSpec::fromJsonFile(obsOptions().faultsPath),
+        obsOptions().faultSeed);
+    campaign->arm(chip.faultTargets());
+    return campaign;
+}
 
 } // namespace smarco::fault

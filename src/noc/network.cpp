@@ -20,7 +20,10 @@ Network::Network(Simulator &sim, NetworkParams params,
       endToEnd_(sim.stats(), stat_prefix + ".endToEnd",
                 "mean end-to-end packet latency (cycles)"),
       gatewayCrossings_(sim.stats(), stat_prefix + ".gatewayCrossings",
-                        "packets crossing a sub/main gateway")
+                        "packets crossing a sub/main gateway"),
+      injectRejected_(sim.stats(), stat_prefix + ".injectRejected",
+                      "injections bounced by a full inject queue "
+                      "(retried next cycle)")
 {
     if (params_.numSubRings == 0 || params_.coresPerSubRing == 0)
         fatal("network: empty topology");
@@ -152,6 +155,7 @@ Network::injectWithRetry(Ring &ring, std::uint32_t src,
         return;
     // Injection queue full: model an endpoint-side buffer by
     // retrying next cycle. Congestion thus shows up as latency.
+    ++injectRejected_;
     auto retry = [this, &ring, src, dst, p = std::move(pkt)]() mutable {
         injectWithRetry(ring, src, dst, std::move(p));
     };

@@ -89,6 +89,10 @@ class Network
 
     std::uint64_t packetsDelivered() const
     { return static_cast<std::uint64_t>(delivered_.value()); }
+    /** Injection attempts bounced by a full ring inject queue (each
+     *  is retried next cycle — backpressure, never loss). */
+    std::uint64_t injectRejected() const
+    { return static_cast<std::uint64_t>(injectRejected_.value()); }
     double avgEndToEndLatency() const { return endToEnd_.value(); }
     /** Packets currently queued or traversing any ring. */
     std::uint64_t totalInFlight() const
@@ -136,6 +140,7 @@ class Network
     Scalar delivered_;
     Average endToEnd_;
     Scalar gatewayCrossings_;
+    Scalar injectRejected_;
 };
 
 } // namespace smarco::noc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * SLO-bounded request driver: the client side of overload control.
+ *
+ * The OverloadDriver plays the role of the serving tier in front of
+ * the chip. It submits an open-loop request stream (see
+ * workloads/request_gen.hpp) at each request's arrival cycle, and
+ * when the chip's admission control sheds a request it retries with
+ * bounded exponential backoff — capped by the request's own deadline,
+ * so a retry that could no longer meet the SLO is given up instead of
+ * adding load. Every request resolves exactly once: completed (and
+ * either met its deadline — goodput — or missed it), or expired
+ * (shed terminally / retries exhausted / deadline unreachable).
+ *
+ * Backoff jitter draws from the named "overload.backoff" stream, so
+ * driving a run never perturbs workload, scheduler, or fault draws,
+ * and the same seed replays byte-identically in both kernel modes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chip/smarco_chip.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "workloads/task.hpp"
+
+namespace smarco::runtime {
+
+/** Retry/backoff knobs of the request driver. */
+struct OverloadParams {
+    /** Retry backoff: min(base << attempt, max) plus jitter. */
+    Cycle backoffBase = 2'000;
+    Cycle backoffMax = 64'000;
+    /** Retries per request after which it is given up. */
+    std::uint32_t maxRetries = 8;
+    /** Seed of the "overload.backoff" jitter stream. */
+    std::uint64_t seed = 1;
+    /** End-to-end latency histogram range (cycles) and resolution. */
+    double latencyHistMax = 4'000'000.0;
+    std::uint32_t latencyHistBuckets = 64;
+};
+
+/**
+ * The driver. Construct against a chip with overload control
+ * enabled, drive() a pre-generated request stream, run the
+ * simulator, then read the lifecycle stats.
+ */
+class OverloadDriver
+{
+  public:
+    OverloadDriver(chip::SmarcoChip &chip, OverloadParams params,
+                   const std::string &stat_prefix = "runtime.overload");
+
+    /**
+     * Schedule open-loop submission of every request at its release
+     * cycle. May be called repeatedly (e.g. one call per traffic
+     * class); id ranges must not collide.
+     */
+    void drive(const std::vector<workloads::TaskSpec> &requests);
+
+    std::uint64_t requests() const
+    { return static_cast<std::uint64_t>(requests_.value()); }
+    std::uint64_t completed() const
+    { return static_cast<std::uint64_t>(completed_.value()); }
+    /** Completions that met their deadline (or had none). */
+    std::uint64_t goodput() const
+    { return static_cast<std::uint64_t>(goodput_.value()); }
+    std::uint64_t sloMisses() const
+    { return static_cast<std::uint64_t>(sloMisses_.value()); }
+    std::uint64_t retries() const
+    { return static_cast<std::uint64_t>(retries_.value()); }
+    std::uint64_t shedEvents() const
+    { return static_cast<std::uint64_t>(shed_.value()); }
+    /** Requests given up: terminally shed or retries exhausted. */
+    std::uint64_t expired() const
+    { return static_cast<std::uint64_t>(expired_.value()); }
+    /** Requests submitted but not yet resolved. */
+    std::uint64_t pending() const { return pending_; }
+
+    const Histogram &latency() const { return e2eLatency_; }
+
+  private:
+    void submitOne(const workloads::TaskSpec &task, Cycle arrival,
+                   std::uint32_t attempt);
+    void onOutcome(const workloads::TaskSpec &task,
+                   const chip::SmarcoChip::RequestResult &res,
+                   Cycle arrival, std::uint32_t attempt);
+
+    chip::SmarcoChip &chip_;
+    Simulator &sim_;
+    OverloadParams params_;
+    Rng backoffRng_;
+    std::uint64_t pending_ = 0;
+
+    Scalar requests_;
+    Scalar completed_;
+    Scalar goodput_;
+    Scalar sloMisses_;
+    Scalar retries_;
+    Scalar shed_;
+    Scalar expired_;
+    Histogram e2eLatency_;
+};
+
+} // namespace smarco::runtime

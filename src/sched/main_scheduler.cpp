@@ -12,9 +12,48 @@ MainScheduler::MainScheduler(Simulator &sim, MainSchedulerParams params,
     : sim_(sim),
       params_(params),
       routed_(sim.stats(), stat_prefix + ".routed",
-              "tasks routed to sub-rings")
+              "tasks routed to sub-rings"),
+      statPrefix_(stat_prefix)
 {
     sim.addTicking(this);
+}
+
+void
+MainScheduler::enableAdmission(const AdmissionParams &params)
+{
+    if (params.subQueueCap == 0)
+        fatal("MainScheduler: zero admission queue cap");
+    if (params.degradedExit > params.degradedEnter)
+        fatal("MainScheduler: degraded-mode exit threshold above "
+              "enter threshold (hysteresis inverted)");
+    admission_ = params;
+    admissionOn_ = true;
+    auto &st = sim_.stats();
+    admitted_ = std::make_unique<Scalar>(
+        st, statPrefix_ + ".admitted",
+        "tasks passing admission control");
+    shedQueueFull_ = std::make_unique<Scalar>(
+        st, statPrefix_ + ".shedQueueFull",
+        "tasks shed: admission queue at capacity");
+    shedInfeasible_ = std::make_unique<Scalar>(
+        st, statPrefix_ + ".shedInfeasible",
+        "tasks shed: deadline infeasible at queue depth");
+    shedDegraded_ = std::make_unique<Scalar>(
+        st, statPrefix_ + ".shedDegraded",
+        "best-effort tasks shed in degraded mode");
+    degradedEntries_ = std::make_unique<Scalar>(
+        st, statPrefix_ + ".degradedEntries",
+        "times the scheduler entered degraded mode");
+}
+
+std::uint64_t
+MainScheduler::tasksShed() const
+{
+    if (!admissionOn_)
+        return 0;
+    return static_cast<std::uint64_t>(shedQueueFull_->value() +
+                                      shedInfeasible_->value() +
+                                      shedDegraded_->value());
 }
 
 void
@@ -47,11 +86,93 @@ MainScheduler::leastLoaded() const
 }
 
 void
+MainScheduler::updateDegraded()
+{
+    std::uint64_t load = 0;
+    for (const SubScheduler *s : subs_)
+        load += s->load();
+    const double cap = static_cast<double>(admission_.subQueueCap) *
+                       static_cast<double>(subs_.size());
+    const double frac = static_cast<double>(load) / cap;
+    if (!degraded_ && frac >= admission_.degradedEnter) {
+        degraded_ = true;
+        ++*degradedEntries_;
+        if (sim_.trace().enabled(TraceCat::Sched))
+            sim_.trace().instant(TraceCat::Sched, "degraded.enter",
+                                 sim_.now());
+    } else if (degraded_ && frac < admission_.degradedExit) {
+        degraded_ = false;
+        if (sim_.trace().enabled(TraceCat::Sched))
+            sim_.trace().instant(TraceCat::Sched, "degraded.exit",
+                                 sim_.now());
+    }
+}
+
+bool
+MainScheduler::admit(const workloads::TaskSpec &task,
+                     std::uint32_t target, ShedReason &reason)
+{
+    // Bounded queue: even the least-loaded sub-ring is full.
+    if (subs_[target]->load() >= admission_.subQueueCap) {
+        reason = ShedReason::QueueFull;
+        return false;
+    }
+    // Degraded mode sheds best-effort traffic before deadline
+    // traffic; deadline/realtime requests still compete below.
+    if (degraded_ && !task.hasDeadline()) {
+        reason = ShedReason::Degraded;
+        return false;
+    }
+    // Laxity feasibility: by the time the task reaches the head of
+    // the target queue (estimated queuedCost cycles per task ahead)
+    // and executes (~1 op/cycle, matching taskLaxity), the deadline
+    // must still be reachable. Rejecting now lets the client retry
+    // elsewhere instead of wasting chip work on a doomed request.
+    if (task.hasDeadline()) {
+        const Cycle wait = admission_.queuedCost *
+                           subs_[target]->load();
+        if (sim_.now() + wait + task.numOps > task.deadline) {
+            reason = ShedReason::Infeasible;
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+MainScheduler::shed(const workloads::TaskSpec &task, ShedReason reason)
+{
+    switch (reason) {
+      case ShedReason::QueueFull:  ++*shedQueueFull_; break;
+      case ShedReason::Infeasible: ++*shedInfeasible_; break;
+      case ShedReason::Degraded:   ++*shedDegraded_; break;
+      case ShedReason::Expired:    break; // sub-scheduler's counter
+    }
+    if (sim_.trace().enabled(TraceCat::Sched))
+        sim_.trace().instant(
+            TraceCat::Sched, "shed", sim_.now(), 0,
+            strprintf("{\"task\":%llu,\"reason\":\"%s\"}",
+                      static_cast<unsigned long long>(task.id),
+                      shedReasonName(reason)));
+    if (shedCb_)
+        shedCb_(task, reason, sim_.now());
+}
+
+void
 MainScheduler::route(const workloads::TaskSpec &task)
 {
     if (subs_.empty())
         fatal("MainScheduler: no sub-schedulers registered");
     const std::uint32_t target = leastLoaded();
+    if (admissionOn_) {
+        updateDegraded();
+        ShedReason reason;
+        if (!admit(task, target, reason)) {
+            shed(task, reason);
+            return;
+        }
+        ++*admitted_;
+    }
     ++routed_;
     if (sim_.trace().enabled(TraceCat::Sched))
         sim_.trace().instant(

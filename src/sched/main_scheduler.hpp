@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sched/shed.hpp"
 #include "sched/sub_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -62,8 +64,25 @@ class MainScheduler : public Ticking
     /** Submit one task at its release cycle. */
     void submit(const workloads::TaskSpec &task);
 
+    /**
+     * Turn on admission control and load shedding at route time.
+     * Off by default: an uncontrolled run routes everything and pays
+     * nothing (no extra stats registered either).
+     */
+    void enableAdmission(const AdmissionParams &params);
+
+    /** Observer for shed tasks (runtime retry hook). */
+    void setShedCallback(ShedCallback cb) { shedCb_ = std::move(cb); }
+
+    bool admissionEnabled() const { return admissionOn_; }
+    bool degraded() const { return degraded_; }
+
     std::uint64_t tasksRouted() const
     { return static_cast<std::uint64_t>(routed_.value()); }
+    std::uint64_t tasksAdmitted() const
+    { return admitted_ ? static_cast<std::uint64_t>(admitted_->value())
+                       : tasksRouted(); }
+    std::uint64_t tasksShed() const;
 
     void tick(Cycle) override {}
     bool busy() const override { return pendingReleases_ > 0; }
@@ -73,6 +92,11 @@ class MainScheduler : public Ticking
   private:
     void route(const workloads::TaskSpec &task);
     std::uint32_t leastLoaded() const;
+    /** Admission test; fills reason when the task must be shed. */
+    bool admit(const workloads::TaskSpec &task, std::uint32_t target,
+               ShedReason &reason);
+    void shed(const workloads::TaskSpec &task, ShedReason reason);
+    void updateDegraded();
 
     Simulator &sim_;
     MainSchedulerParams params_;
@@ -82,7 +106,20 @@ class MainScheduler : public Ticking
     /** Tasks scheduled for a future release, not yet routed. */
     std::uint64_t pendingReleases_ = 0;
 
+    bool admissionOn_ = false;
+    AdmissionParams admission_;
+    bool degraded_ = false;
+    ShedCallback shedCb_;
+
     Scalar routed_;
+    // Created lazily on enableAdmission(): an uncontrolled run keeps
+    // its stats dump byte-identical to pre-overload builds.
+    std::unique_ptr<Scalar> admitted_;
+    std::unique_ptr<Scalar> shedQueueFull_;
+    std::unique_ptr<Scalar> shedInfeasible_;
+    std::unique_ptr<Scalar> shedDegraded_;
+    std::unique_ptr<Scalar> degradedEntries_;
+    std::string statPrefix_;
 };
 
 } // namespace smarco::sched

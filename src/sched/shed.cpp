@@ -1,0 +1,17 @@
+#include "sched/shed.hpp"
+
+namespace smarco::sched {
+
+const char *
+shedReasonName(ShedReason reason)
+{
+    switch (reason) {
+      case ShedReason::QueueFull:  return "queueFull";
+      case ShedReason::Infeasible: return "infeasible";
+      case ShedReason::Degraded:   return "degraded";
+      case ShedReason::Expired:    return "expired";
+    }
+    return "?";
+}
+
+} // namespace smarco::sched

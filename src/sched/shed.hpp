@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Overload-control vocabulary shared by the main and sub schedulers.
+ *
+ * Admission control bounds the per-sub-ring queues, sheds requests
+ * whose deadline is already infeasible given the queue depth, and —
+ * under a hysteresis-driven degraded mode — sheds best-effort traffic
+ * before deadline traffic. Shed tasks are reported to a callback so
+ * the runtime can retry them with bounded backoff; nothing is ever
+ * dropped silently.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hpp"
+#include "workloads/task.hpp"
+
+namespace smarco::sched {
+
+/** Why a task was refused or dropped by an overloaded scheduler. */
+enum class ShedReason : std::uint8_t {
+    /** Target sub-ring admission queue at capacity. */
+    QueueFull,
+    /** Deadline unreachable given current queue depth (laxity). */
+    Infeasible,
+    /** Best-effort task refused while in degraded mode. */
+    Degraded,
+    /** Deadline passed while queued; dropped before dispatch. */
+    Expired,
+};
+
+/** Lower-case name of a shed reason ("queueFull", ...). */
+const char *shedReasonName(ShedReason reason);
+
+/** Observer invoked for every shed task (runtime retry hook). */
+using ShedCallback = std::function<void(
+    const workloads::TaskSpec &, ShedReason, Cycle now)>;
+
+/** Admission-control knobs of the main scheduler. */
+struct AdmissionParams {
+    /** Max load (queued + in-flight tasks) per sub-ring scheduler.
+     *  Must not exceed the sub-scheduler chain capacity. */
+    std::uint32_t subQueueCap = 64;
+    /** Estimated extra sojourn cycles contributed by each task
+     *  already queued on the target sub-ring (0 disables the
+     *  queue-depth term of the feasibility test). */
+    Cycle queuedCost = 0;
+    /** Enter degraded mode when total load / total capacity rises
+     *  to this fraction... */
+    double degradedEnter = 0.85;
+    /** ...and leave it only once load falls back below this one
+     *  (hysteresis: the gap stops threshold flapping). */
+    double degradedExit = 0.55;
+};
+
+} // namespace smarco::sched

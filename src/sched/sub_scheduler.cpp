@@ -30,9 +30,24 @@ SubScheduler::SubScheduler(Simulator &sim, SubSchedulerParams params,
                   "mean cycles from release to dispatch"),
       redispatchDelay_(sim.stats(), stat_prefix + ".redispatchDelay",
                        "cycles from task failure to re-dispatch",
-                       0.0, 131072.0, 64)
+                       0.0, 131072.0, 64),
+      statPrefix_(stat_prefix)
 {
     sim.addTicking(this);
+}
+
+void
+SubScheduler::enableShedding(ShedCallback cb)
+{
+    sheddingOn_ = true;
+    shedCb_ = std::move(cb);
+    auto &st = sim_.stats();
+    expired_ = std::make_unique<Scalar>(
+        st, statPrefix_ + ".tasksExpired",
+        "queued tasks dropped: deadline became unreachable");
+    shedOverflow_ = std::make_unique<Scalar>(
+        st, statPrefix_ + ".shedOverflow",
+        "tasks shed on chain-table overflow");
 }
 
 void
@@ -74,10 +89,32 @@ void
 SubScheduler::submit(const workloads::TaskSpec &task)
 {
     ++submitted_;
-    if (!table_.insert(task))
+    if (!table_.insert(task)) {
+        if (sheddingOn_) {
+            // Overflow becomes back-pressure instead of a crash: the
+            // runtime retries the request with bounded backoff.
+            ++*shedOverflow_;
+            if (shedCb_)
+                shedCb_(task, ShedReason::QueueFull, sim_.now());
+            return;
+        }
         fatal("sub-scheduler %u: chain table overflow (capacity %u)",
               id_, table_.capacity());
+    }
     sim_.wake(this);
+}
+
+void
+SubScheduler::dropExpired(const workloads::TaskSpec &task, Cycle now)
+{
+    ++*expired_;
+    if (sim_.trace().enabled(TraceCat::Sched))
+        sim_.trace().instant(
+            TraceCat::Sched, "expire", now, 0,
+            strprintf("{\"task\":%llu}",
+                      static_cast<unsigned long long>(task.id)));
+    if (shedCb_)
+        shedCb_(task, ShedReason::Expired, now);
 }
 
 std::int32_t
@@ -273,6 +310,12 @@ SubScheduler::tick(Cycle now)
             return;
         }
         nextDecision_ = now + params_.hwDecisionLatency;
+        if (sheddingOn_ && doomed(*task, now)) {
+            // Early drop: the pop still costs a decision slot, but
+            // no context is wasted running a doomed request.
+            dropExpired(*task, now);
+            return;
+        }
         dispatchOne(*task, now);
         return;
     }
@@ -298,6 +341,10 @@ SubScheduler::tick(Cycle now)
         if (task->release > now) {
             table_.insert(*task);
             break;
+        }
+        if (sheddingOn_ && doomed(*task, now)) {
+            dropExpired(*task, now);
+            continue; // drop is free: no dispatch overhead paid
         }
         ++k;
         const Cycle when = now + overhead * k;

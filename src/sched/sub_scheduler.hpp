@@ -19,11 +19,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/tcg_core.hpp"
 #include "sched/chain_table.hpp"
+#include "sched/shed.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "workloads/task.hpp"
@@ -113,6 +115,23 @@ class SubScheduler : public Ticking
      */
     void enableRecovery(const RecoveryParams &params);
 
+    /**
+     * Turn on deadline-aware shedding: tasks whose deadline has
+     * become unreachable are dropped at pop time (early drop: the
+     * chip never wastes a context on a doomed request), and a full
+     * chain table sheds the overflowing task back to the callback
+     * instead of aborting the run. Off by default.
+     */
+    void enableShedding(ShedCallback cb);
+
+    std::uint64_t tasksExpired() const
+    { return expired_ ? static_cast<std::uint64_t>(expired_->value())
+                      : 0; }
+    std::uint64_t overflowSheds() const
+    { return shedOverflow_
+          ? static_cast<std::uint64_t>(shedOverflow_->value())
+          : 0; }
+
     std::uint64_t redispatches() const
     { return static_cast<std::uint64_t>(redispatches_.value()); }
     std::uint64_t tasksAbandoned() const
@@ -142,6 +161,11 @@ class SubScheduler : public Ticking
     const std::vector<TaskExit> &exits() const { return exits_; }
 
   private:
+    /** True when the task's deadline is already unreachable. */
+    bool doomed(const workloads::TaskSpec &task, Cycle now) const
+    { return task.hasDeadline() && now + task.numOps > task.deadline; }
+    /** Early-drop a queued task whose deadline became unreachable. */
+    void dropExpired(const workloads::TaskSpec &task, Cycle now);
     void dispatchOne(const workloads::TaskSpec &task, Cycle now);
     /** Core with the most unreserved free contexts; -1 when none. */
     std::int32_t pickCore() const;
@@ -178,6 +202,9 @@ class SubScheduler : public Ticking
     std::uint64_t inFlight_ = 0; ///< staged/running, not yet finished
     std::vector<TaskExit> exits_;
 
+    bool sheddingOn_ = false;
+    ShedCallback shedCb_;
+
     bool recoveryOn_ = false;
     RecoveryParams recovery_;
     Cycle nextHeartbeat_ = 0;
@@ -193,6 +220,11 @@ class SubScheduler : public Ticking
     Scalar tasksAbandoned_;
     Average queueDelay_;
     Histogram redispatchDelay_;
+    // Lazily created on enableShedding(): uncontrolled runs keep
+    // their stats dump byte-identical to pre-overload builds.
+    std::unique_ptr<Scalar> expired_;
+    std::unique_ptr<Scalar> shedOverflow_;
+    std::string statPrefix_;
 };
 
 } // namespace smarco::sched

@@ -30,9 +30,12 @@
 #include "baseline/baseline_chip.hpp"
 #include "chip/chip_config.hpp"
 #include "chip/smarco_chip.hpp"
+#include "runtime/overload.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "workloads/cdn.hpp"
 #include "workloads/profile.hpp"
+#include "workloads/request_gen.hpp"
 #include "workloads/task.hpp"
 
 using namespace smarco;
@@ -89,6 +92,40 @@ baselineRun(bool fast_forward)
     chip.spawnWorkers(8, workloads::makeTaskSet(
                              workloads::htcProfile("search"), tp));
     sim.run(200'000'000);
+    return dumpStats(sim);
+}
+
+/**
+ * The covered overload config: the CDN chunk workload offered
+ * open-loop at ~3x capacity through the admission + SLO-retry path,
+ * locking down the whole overload-control layer (request generator,
+ * shed decisions, backoff draws, lifecycle stats).
+ */
+std::string
+cdnOverloadRun(bool fast_forward)
+{
+    const auto profile = workloads::CdnWorkload().chunkProfile(300);
+
+    Simulator sim;
+    sim.setFastForward(fast_forward);
+    chip::SmarcoChip chip(sim, chip::ChipConfig::scaled(1, 4));
+    sched::AdmissionParams ap;
+    ap.subQueueCap = 8;
+    ap.queuedCost = 5'000;
+    chip.enableOverloadControl(ap);
+
+    runtime::OverloadParams op;
+    op.seed = 42;
+    runtime::OverloadDriver driver(chip, op);
+    workloads::RequestGenParams gp;
+    gp.count = 40;
+    gp.ratePerKCycle = 0.4;
+    gp.relativeDeadline = 300'000;
+    gp.realtime = true;
+    gp.opsOverride = 4'000;
+    gp.seed = 42;
+    driver.drive(makePoissonRequests(profile, gp));
+    chip.runUntilDone(200'000'000);
     return dumpStats(sim);
 }
 
@@ -150,6 +187,18 @@ TEST(GoldenStats, SmarcoSnapshotMatchesGolden)
 TEST(GoldenStats, BaselineSnapshotMatchesGolden)
 {
     checkGolden(baselineRun(true), "baseline_4core_search.json");
+}
+
+TEST(GoldenStats, FastForwardMatchesForcedModeCdnOverload)
+{
+    expectIdentical(cdnOverloadRun(true), cdnOverloadRun(false),
+                    "CDN overload fast-forward vs forced dump");
+}
+
+TEST(GoldenStats, CdnOverloadSnapshotMatchesGolden)
+{
+    checkGolden(cdnOverloadRun(true),
+                "smarco_scaled_1x4_cdn_overload.json");
 }
 
 TEST(GoldenStats, UnsampledStatsSerializeExplicitZeros)

@@ -202,6 +202,26 @@ TEST_F(NetFixture, ManyPacketsAllDelivered)
     EXPECT_EQ(delivered, 16 * per_core);
 }
 
+TEST_F(NetFixture, FullInjectQueueRetriesUntilDelivered)
+{
+    // A single-slot inject queue bounces a same-cycle burst; the
+    // endpoint-side buffer model must retry every bounced packet
+    // until it lands — congestion shows up as injectRejected counts
+    // and latency, never as loss.
+    params.injectQueueCap = 1;
+    auto net = make();
+    int delivered = 0;
+    net->setEndpointHandler(NodeId{NodeKind::Core, 3},
+                            [&](Packet &&) { ++delivered; });
+    const int burst = 32;
+    for (int i = 0; i < burst; ++i)
+        net->send(pkt(NodeId{NodeKind::Core, 0},
+                      NodeId{NodeKind::Core, 3}, 32));
+    sim.run(20000);
+    EXPECT_EQ(delivered, burst);
+    EXPECT_GT(net->injectRejected(), 0u);
+}
+
 TEST_F(NetFixture, UtilisationGrowsWithTraffic)
 {
     auto net = make();

@@ -1,0 +1,572 @@
+/**
+ * @file
+ * Tests of the end-to-end overload-control layer: the open-loop
+ * request generator, scheduler admission + deadline-aware shedding,
+ * the SLO-bounded retry driver, the baseline chip's bounded bag, and
+ * the determinism contract (same seed, byte-identical stats in both
+ * kernel modes; composition with fault injection stays monotone and
+ * never trips the campaign watchdog).
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "baseline/baseline_chip.hpp"
+#include "chip/chip_config.hpp"
+#include "chip/smarco_chip.hpp"
+#include "fault/fault_campaign.hpp"
+#include "fault/fault_spec.hpp"
+#include "runtime/overload.hpp"
+#include "sched/shed.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "workloads/cdn.hpp"
+#include "workloads/profile.hpp"
+#include "workloads/request_gen.hpp"
+
+using namespace smarco;
+
+namespace {
+
+const workloads::BenchProfile &
+prof()
+{
+    return workloads::htcProfile("wordcount");
+}
+
+workloads::TaskSpec
+request(TaskId id, std::uint64_t ops, Cycle release = 0,
+        Cycle deadline = kNoCycle)
+{
+    workloads::TaskSpec t;
+    t.id = id;
+    t.profile = &prof();
+    t.numOps = ops;
+    t.release = release;
+    t.deadline = deadline;
+    t.realtime = deadline != kNoCycle;
+    return t;
+}
+
+} // namespace
+
+// ------------------------------------------------- request generator
+
+TEST(RequestGen, SameSeedSameStream)
+{
+    workloads::RequestGenParams gp;
+    gp.count = 64;
+    gp.ratePerKCycle = 2.0;
+    gp.relativeDeadline = 10'000;
+    gp.seed = 7;
+    const auto a = makePoissonRequests(prof(), gp);
+    const auto b = makePoissonRequests(prof(), gp);
+    ASSERT_EQ(a.size(), 64u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].release, b[i].release);
+        EXPECT_EQ(a[i].deadline, b[i].deadline);
+        EXPECT_EQ(a[i].numOps, b[i].numOps);
+    }
+}
+
+TEST(RequestGen, ArrivalsIncreaseAtRoughlyTheRate)
+{
+    workloads::RequestGenParams gp;
+    gp.count = 512;
+    gp.ratePerKCycle = 4.0; // mean gap 250 cycles
+    gp.seed = 3;
+    const auto reqs = makePoissonRequests(prof(), gp);
+    Cycle prev = 0;
+    double gap_sum = 0.0;
+    for (const auto &r : reqs) {
+        EXPECT_GT(r.release, prev);
+        gap_sum += static_cast<double>(r.release - prev);
+        prev = r.release;
+    }
+    const double mean_gap = gap_sum / 512.0;
+    EXPECT_GT(mean_gap, 150.0);
+    EXPECT_LT(mean_gap, 400.0);
+}
+
+TEST(RequestGen, DeadlineIsRelativeToArrival)
+{
+    workloads::RequestGenParams gp;
+    gp.count = 32;
+    gp.ratePerKCycle = 1.0;
+    gp.relativeDeadline = 5'000;
+    gp.realtime = true;
+    gp.seed = 5;
+    for (const auto &r : makePoissonRequests(prof(), gp)) {
+        ASSERT_TRUE(r.hasDeadline());
+        EXPECT_EQ(r.deadline, r.release + 5'000);
+        EXPECT_TRUE(r.realtime);
+    }
+}
+
+TEST(RequestGen, DeadlineFractionSplitsClasses)
+{
+    workloads::RequestGenParams gp;
+    gp.count = 256;
+    gp.ratePerKCycle = 1.0;
+    gp.relativeDeadline = 5'000;
+    gp.deadlineFraction = 0.5;
+    gp.seed = 5;
+    std::size_t with = 0;
+    for (const auto &r : makePoissonRequests(prof(), gp))
+        with += r.hasDeadline() ? 1 : 0;
+    EXPECT_GT(with, 64u);
+    EXPECT_LT(with, 192u);
+
+    gp.deadlineFraction = 0.0;
+    for (const auto &r : makePoissonRequests(prof(), gp)) {
+        EXPECT_FALSE(r.hasDeadline());
+        EXPECT_FALSE(r.realtime);
+    }
+}
+
+TEST(RequestGen, TraceReplaysGivenArrivals)
+{
+    const std::vector<Cycle> arrivals{100, 50, 700};
+    workloads::RequestGenParams gp;
+    gp.relativeDeadline = 1'000;
+    gp.firstId = 40;
+    const auto reqs = makeTraceRequests(prof(), arrivals, gp);
+    ASSERT_EQ(reqs.size(), 3u);
+    EXPECT_EQ(reqs[0].release, 100u);
+    EXPECT_EQ(reqs[1].release, 50u);
+    EXPECT_EQ(reqs[2].release, 700u);
+    EXPECT_EQ(reqs[0].id, 40u);
+    EXPECT_EQ(reqs[2].deadline, 1'700u);
+}
+
+TEST(RequestGenDeath, RejectsBadParams)
+{
+    workloads::RequestGenParams gp;
+    gp.count = 0;
+    EXPECT_DEATH(makePoissonRequests(prof(), gp), "empty");
+    gp.count = 4;
+    gp.ratePerKCycle = 0.0;
+    EXPECT_DEATH(makePoissonRequests(prof(), gp), "positive");
+}
+
+// --------------------------------------------- admission & shedding
+
+namespace {
+
+struct Outcomes {
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    sched::ShedReason lastReason = sched::ShedReason::QueueFull;
+
+    chip::SmarcoChip::RequestHook hook()
+    {
+        return [this](const workloads::TaskSpec &,
+                      const chip::SmarcoChip::RequestResult &res) {
+            if (res.completed) {
+                ++completed;
+            } else {
+                ++shed;
+                lastReason = res.reason;
+            }
+        };
+    }
+};
+
+sched::AdmissionParams
+admission(std::uint32_t cap, Cycle queued_cost = 0,
+          double enter = 2.0, double exit = 0.5)
+{
+    sched::AdmissionParams ap;
+    ap.subQueueCap = cap;
+    ap.queuedCost = queued_cost;
+    ap.degradedEnter = enter; // > 1 keeps degraded mode out of the way
+    ap.degradedExit = exit;
+    return ap;
+}
+
+} // namespace
+
+TEST(Admission, FullQueueShedsInsteadOfFatal)
+{
+    Simulator sim;
+    chip::SmarcoChip chip(sim, chip::ChipConfig::scaled(1, 4));
+    chip.enableOverloadControl(admission(4));
+
+    Outcomes out;
+    const std::uint64_t total = 32;
+    for (std::uint64_t i = 0; i < total; ++i)
+        chip.submitRequest(request(i, 50'000), out.hook());
+    chip.runUntilDone(100'000'000);
+
+    EXPECT_GT(out.shed, 0u);
+    EXPECT_GT(out.completed, 0u);
+    EXPECT_EQ(out.completed + out.shed, total);
+    EXPECT_EQ(out.lastReason, sched::ShedReason::QueueFull);
+    EXPECT_EQ(chip.scheduler().tasksShed(), out.shed);
+    EXPECT_EQ(chip.scheduler().tasksAdmitted(), out.completed);
+}
+
+TEST(Admission, InfeasibleDeadlineShedsAtIngress)
+{
+    Simulator sim;
+    chip::SmarcoChip chip(sim, chip::ChipConfig::scaled(1, 4));
+    chip.enableOverloadControl(admission(16));
+
+    Outcomes out;
+    // 10k ops can never finish by cycle 100: laxity test rejects it
+    // without wasting a queue slot.
+    chip.submitRequest(request(1, 10'000, 0, 100), out.hook());
+    chip.runUntilDone(1'000'000);
+
+    EXPECT_EQ(out.shed, 1u);
+    EXPECT_EQ(out.completed, 0u);
+    EXPECT_EQ(out.lastReason, sched::ShedReason::Infeasible);
+}
+
+TEST(Admission, QueuedCostTightensFeasibility)
+{
+    // With queuedCost the feasibility test charges the backlog: a
+    // deadline generous enough for an empty chip is rejected when 8
+    // queued tasks are each expected to add 50k cycles of sojourn.
+    Simulator sim;
+    chip::SmarcoChip chip(sim, chip::ChipConfig::scaled(1, 4));
+    chip.enableOverloadControl(admission(32, 50'000));
+
+    Outcomes out;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        chip.submitRequest(request(i, 60'000), out.hook());
+    chip.submitRequest(request(99, 1'000, 0, 200'000), out.hook());
+    chip.runUntilDone(100'000'000);
+
+    EXPECT_EQ(out.shed, 1u);
+    EXPECT_EQ(out.lastReason, sched::ShedReason::Infeasible);
+    EXPECT_EQ(out.completed, 8u);
+}
+
+TEST(Admission, QueuedRequestPastDeadlineIsDroppedEarly)
+{
+    Simulator sim;
+    chip::SmarcoChip chip(sim, chip::ChipConfig::scaled(1, 4));
+    chip.enableOverloadControl(admission(64));
+
+    Outcomes fill, out;
+    // 32 fillers with tight laxity grab every hardware context.
+    for (std::uint64_t i = 0; i < 32; ++i)
+        chip.submitRequest(request(i, 30'000, 0, 31'000), fill.hook());
+    // The victim passes admission (now + 1000 <= 3000) but every
+    // context is held for ~30k cycles; by the first free slot its
+    // deadline is history and the scheduler drops it at pop time.
+    chip.submitRequest(request(99, 1'000, 0, 3'000), out.hook());
+    chip.runUntilDone(100'000'000);
+
+    EXPECT_EQ(out.shed, 1u);
+    EXPECT_EQ(out.lastReason, sched::ShedReason::Expired);
+    EXPECT_EQ(fill.completed, 32u);
+    EXPECT_GT(chip.subScheduler(0).tasksExpired(), 0u);
+}
+
+TEST(Admission, DegradedModeShedsBestEffortFirst)
+{
+    Simulator sim;
+    chip::SmarcoChip chip(sim, chip::ChipConfig::scaled(1, 4));
+    // Capacity is 8; degraded mode enters at load >= 2 and needs
+    // load < 1 to leave (hysteresis).
+    chip.enableOverloadControl(admission(8, 0, 0.25, 0.1));
+
+    Outcomes out;
+    for (std::uint64_t i = 0; i < 3; ++i)
+        chip.submitRequest(request(i, 100'000, 0, 10'000'000),
+                           out.hook());
+    sim.run(2'000); // let the load build up
+
+    Outcomes be, dl;
+    chip.submitRequest(request(10, 1'000), be.hook());
+    chip.submitRequest(request(11, 1'000, 0, 10'000'000), dl.hook());
+    chip.runUntilDone(100'000'000);
+
+    EXPECT_TRUE(chip.scheduler().degraded());
+    EXPECT_EQ(be.shed, 1u);
+    EXPECT_EQ(be.lastReason, sched::ShedReason::Degraded);
+    EXPECT_EQ(dl.completed, 1u); // deadline traffic rides through
+    EXPECT_EQ(out.completed, 3u);
+
+    // Hysteresis: once drained the next submission leaves degraded
+    // mode and best-effort traffic is admitted again.
+    Outcomes late;
+    chip.submitRequest(request(12, 1'000), late.hook());
+    chip.runUntilDone(100'000'000);
+    EXPECT_FALSE(chip.scheduler().degraded());
+    EXPECT_EQ(late.completed, 1u);
+}
+
+TEST(AdmissionDeath, RejectsBadKnobs)
+{
+    Simulator sim;
+    chip::SmarcoChip chip(sim, chip::ChipConfig::scaled(1, 4));
+    EXPECT_DEATH(chip.enableOverloadControl(admission(0)), "cap");
+    EXPECT_DEATH(chip.enableOverloadControl(admission(4, 0, 0.5, 0.9)),
+                 "exit");
+    sched::AdmissionParams over;
+    over.subQueueCap = 100'000; // beyond the chain-table capacity
+    EXPECT_DEATH(chip.enableOverloadControl(over), "capacity");
+}
+
+// ------------------------------------------------ SLO-bounded retry
+
+TEST(Retry, ShedRequestsRetryAndComplete)
+{
+    Simulator sim;
+    chip::SmarcoChip chip(sim, chip::ChipConfig::scaled(1, 4));
+    chip.enableOverloadControl(admission(4));
+
+    runtime::OverloadParams op;
+    op.backoffBase = 1'000;
+    op.maxRetries = 20;
+    runtime::OverloadDriver driver(chip, op);
+
+    std::vector<workloads::TaskSpec> reqs;
+    for (std::uint64_t i = 0; i < 12; ++i)
+        reqs.push_back(request(i, 20'000, 10 * i));
+    driver.drive(reqs);
+    chip.runUntilDone(100'000'000);
+
+    EXPECT_EQ(driver.requests(), 12u);
+    EXPECT_EQ(driver.completed(), 12u);
+    EXPECT_EQ(driver.goodput(), 12u); // best-effort: any finish counts
+    EXPECT_GT(driver.retries(), 0u);
+    EXPECT_EQ(driver.expired(), 0u);
+    EXPECT_EQ(driver.pending(), 0u);
+    EXPECT_EQ(driver.latency().count(), 12u);
+}
+
+TEST(Retry, DeadlineCapsTheRetryBudget)
+{
+    Simulator sim;
+    chip::SmarcoChip chip(sim, chip::ChipConfig::scaled(1, 4));
+    chip.enableOverloadControl(admission(2));
+
+    runtime::OverloadParams op;
+    op.backoffBase = 2'000;
+    op.maxRetries = 50;
+    runtime::OverloadDriver driver(chip, op);
+
+    std::vector<workloads::TaskSpec> reqs;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        reqs.push_back(request(i, 20'000, 10 * i, 10 * i + 40'000));
+    driver.drive(reqs);
+    chip.runUntilDone(100'000'000);
+
+    // A retry that cannot finish by the deadline is abandoned rather
+    // than retried forever: every request resolves exactly once.
+    EXPECT_EQ(driver.requests(), 8u);
+    EXPECT_GT(driver.expired(), 0u);
+    EXPECT_EQ(driver.completed() + driver.expired(), 8u);
+    EXPECT_EQ(driver.completed(),
+              driver.goodput() + driver.sloMisses());
+    EXPECT_EQ(driver.pending(), 0u);
+}
+
+TEST(Retry, TerminalShedsAreNeverRetried)
+{
+    Simulator sim;
+    chip::SmarcoChip chip(sim, chip::ChipConfig::scaled(1, 4));
+    chip.enableOverloadControl(admission(16));
+
+    runtime::OverloadDriver driver(chip, {});
+    driver.drive({request(1, 10'000, 0, 100)}); // infeasible
+    chip.runUntilDone(1'000'000);
+
+    EXPECT_EQ(driver.expired(), 1u);
+    EXPECT_EQ(driver.retries(), 0u);
+    EXPECT_EQ(driver.completed(), 0u);
+    EXPECT_EQ(driver.pending(), 0u);
+}
+
+// ------------------------------------------------- baseline parity
+
+TEST(BaselineOverload, BoundedBagShedsAndRecords)
+{
+    Simulator sim;
+    baseline::BaselineChip chip(sim, baseline::BaselineParams{});
+    chip.enableAdmission(4);
+    chip.spawnWorkers(2, {}, /*persistent=*/true);
+
+    std::uint64_t accepted = 0;
+    for (std::uint64_t i = 0; i < 10; ++i)
+        accepted += chip.tryInjectTask(request(i, 5'000)) ? 1 : 0;
+    sim.run(1'000'000);
+
+    EXPECT_EQ(accepted, 4u);
+    EXPECT_EQ(chip.tasksShed(), 6u);
+    EXPECT_EQ(chip.tasksCompleted(), 4u);
+    const auto &lat = sim.stats().getAs<Histogram>("base.e2eLatency");
+    EXPECT_EQ(lat.count(), 4u);
+}
+
+TEST(BaselineOverload, ExpiredTasksDropAtPopNotAfterService)
+{
+    Simulator sim;
+    baseline::BaselineParams params;
+    baseline::BaselineChip chip(sim, params);
+    chip.enableAdmission(64);
+    chip.spawnWorkers(1, {}, /*persistent=*/true);
+
+    // The single worker is only ready after its spawn ramp; these
+    // deadlines are already history by then, so the bag drops them
+    // at pop time instead of burning service cycles.
+    ASSERT_TRUE(chip.tryInjectTask(request(1, 20'000)));
+    for (std::uint64_t i = 2; i <= 5; ++i)
+        ASSERT_TRUE(chip.tryInjectTask(
+            request(i, 20'000, 0, params.threadCreateCost / 2)));
+    sim.run(2'000'000);
+
+    EXPECT_EQ(chip.tasksExpired(), 4u);
+    EXPECT_EQ(chip.tasksCompleted(), 1u);
+}
+
+// --------------------------------------------------- determinism
+
+namespace {
+
+/**
+ * A full mixed-class overload run; returns the stats JSON dump. The
+ * default rate is ~11x the chip's capacity (real overload: sheds,
+ * retries, expiries all exercised); pass a lower rate for runs that
+ * must complete every request.
+ */
+std::string
+overloadRun(bool fast_forward, std::uint64_t seed,
+            const fault::FaultSpec *spec = nullptr, double rate = 1.5)
+{
+    // TaskSpec keeps a pointer to its profile; the profile must
+    // outlive the whole run.
+    const auto cdn_prof = workloads::CdnWorkload().chunkProfile(300);
+
+    Simulator sim;
+    sim.setFastForward(fast_forward);
+    chip::SmarcoChip chip(sim, chip::ChipConfig::scaled(1, 4));
+    chip.enableOverloadControl(admission(8, 5'000));
+
+    runtime::OverloadParams op;
+    op.backoffBase = 2'000;
+    op.seed = seed;
+    runtime::OverloadDriver deadline_class(chip, op,
+                                           "runtime.overload.dl");
+    op.seed = seed + 1;
+    runtime::OverloadDriver best_effort(chip, op,
+                                        "runtime.overload.be");
+
+    workloads::RequestGenParams gp;
+    gp.count = 48;
+    gp.ratePerKCycle = rate;
+    gp.relativeDeadline = 400'000;
+    gp.realtime = true;
+    gp.opsOverride = 4'000;
+    gp.seed = seed;
+    deadline_class.drive(makePoissonRequests(cdn_prof, gp));
+    gp.count = 8;
+    gp.ratePerKCycle = 0.25;
+    gp.relativeDeadline = kNoCycle;
+    gp.realtime = false;
+    gp.seed = seed + 1;
+    gp.firstId = 1'000'000;
+    best_effort.drive(
+        makePoissonRequests(workloads::htcProfile("wordcount"), gp));
+
+    std::unique_ptr<fault::FaultCampaign> campaign;
+    if (spec) {
+        campaign =
+            std::make_unique<fault::FaultCampaign>(sim, *spec, 23);
+        campaign->arm(chip.faultTargets());
+    }
+    chip.runUntilDone(400'000'000);
+
+    EXPECT_EQ(deadline_class.pending(), 0u);
+    EXPECT_EQ(best_effort.pending(), 0u);
+
+    std::ostringstream os;
+    sim.stats().dumpJson(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(OverloadDeterminism, KernelModesAreByteIdentical)
+{
+    const std::string ff = overloadRun(true, 9);
+    const std::string forced = overloadRun(false, 9);
+    EXPECT_EQ(ff, forced)
+        << "overload stats diverge between fast-forward and forced "
+           "per-cycle kernels";
+}
+
+TEST(OverloadDeterminism, SameSeedSameStats)
+{
+    EXPECT_EQ(overloadRun(true, 9), overloadRun(true, 9));
+}
+
+TEST(OverloadDeterminism, SeedChangesTheRun)
+{
+    EXPECT_NE(overloadRun(true, 9), overloadRun(true, 10));
+}
+
+// ------------------------------------------- composition with faults
+
+namespace {
+
+fault::FaultSpec
+moderateFaults()
+{
+    fault::FaultSpec spec;
+    spec.coreHangRate = 2.0;
+    spec.coreKillRate = 2.0;
+    spec.dramStallRate = 1.0;
+    spec.horizon = 300'000;
+    spec.watchdogInterval = 100'000;
+    spec.heartbeatInterval = 5'000;
+    spec.hangTimeout = 20'000;
+    spec.dramStallDuration = 4'000;
+    spec.maxAttempts = 64;
+    return spec;
+}
+
+std::uint64_t
+goodputOf(const std::string &dump)
+{
+    // "runtime.overload.dl.goodput":{"kind":"scalar","value":N,...
+    const auto key = dump.find("runtime.overload.dl.goodput");
+    EXPECT_NE(key, std::string::npos);
+    const auto v = dump.find("\"value\":", key);
+    return std::strtoull(dump.c_str() + v + 8, nullptr, 10);
+}
+
+} // namespace
+
+TEST(OverloadWithFaults, DegradesMonotonicallyAndNeverWedges)
+{
+    // The campaign watchdog aborts the process on a wedged run, so
+    // merely finishing both runs proves liveness under overload +
+    // faults. Run at half capacity so the clean run completes every
+    // request — only then is "faults cannot raise goodput" a sound
+    // monotonicity check (under heavy overload a fault-perturbed
+    // schedule can luckily complete a different, larger subset).
+    const double half_capacity = 0.07;
+    const std::string clean =
+        overloadRun(true, 13, nullptr, half_capacity);
+    ASSERT_EQ(goodputOf(clean), 48u);
+
+    const fault::FaultSpec spec = moderateFaults();
+    const std::string faulted =
+        overloadRun(true, 13, &spec, half_capacity);
+    EXPECT_LE(goodputOf(faulted), goodputOf(clean));
+}
+
+TEST(OverloadWithFaults, FaultedRunIsStillDeterministic)
+{
+    const fault::FaultSpec spec = moderateFaults();
+    EXPECT_EQ(overloadRun(true, 13, &spec),
+              overloadRun(false, 13, &spec));
+}
